@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper.  The
+workload size is controlled by the ``REPRO_SCALE`` environment variable:
+
+* ``smoke`` (default) — every experiment runs in seconds; the qualitative
+  shape of the results is visible but noisy.
+* ``bench``           — the scale used for the numbers recorded in
+  EXPERIMENTS.md (a few minutes for the full suite on a laptop CPU).
+* ``paper``           — the closest approximation of the paper's settings;
+  only practical with hours of CPU time.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments import get_scale  # noqa: E402  (path bootstrap above)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Experiment scale selected through the REPRO_SCALE environment variable."""
+    return get_scale(os.environ.get("REPRO_SCALE", "smoke"))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,37 @@
+"""Ablation benchmarks: decomposition rank sweep and vectorized-output ablation.
+
+These cover the two design choices of Sec. III that the paper motivates
+analytically: the rank-k truncation (expressivity/cost knob) and the reuse of
+the intermediate features fᵏ as outputs (which is what makes the per-output
+cost essentially linear).
+"""
+
+from repro.experiments import ablation
+
+from conftest import run_once
+
+
+def test_ablation_rank_sweep(benchmark, scale):
+    result = run_once(benchmark, ablation.run_rank_sweep, scale, (1, 3))
+
+    print(f"\n[Ablation] decomposition rank sweep (scale={scale.name})")
+    print(result["report"])
+
+    ranks = [row["rank"] for row in result["rows"]]
+    assert ranks == [1, 3]
+    assert all(not row["diverged"] for row in result["rows"])
+
+
+def test_ablation_vectorized_output(benchmark, scale):
+    result = run_once(benchmark, ablation.run_vectorized_output_ablation, scale)
+
+    print(f"\n[Ablation] vectorized output (scale={scale.name})")
+    print(result["report"])
+    comparison = result["comparison"]
+    print(f"scalar-output / vectorized-output parameter ratio: "
+          f"{comparison['parameter_ratio']:.2f}x")
+
+    # Removing the vectorized output forces one neuron per channel, multiplying
+    # the parameter and MAC cost (Sec. III-C).
+    assert comparison["parameter_ratio"] > 1.5
+    assert comparison["mac_ratio"] > 1.5

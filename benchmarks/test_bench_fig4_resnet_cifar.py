@@ -1,0 +1,40 @@
+"""Fig. 4 benchmark: linear vs proposed quadratic ResNets on the CIFAR-10 stand-in.
+
+Regenerates the accuracy / parameters / MACs sweep and the paper's headline
+depth-shift comparisons (quadratic ResNet at depth d vs linear ResNet at the
+next deeper depth).
+"""
+
+from repro.experiments import fig4
+from repro.experiments.reporting import format_table
+
+from conftest import run_once
+
+
+def test_fig4_linear_vs_proposed(benchmark, scale):
+    result = run_once(benchmark, fig4.run, scale)
+
+    print(f"\n[Fig. 4] linear vs proposed neurons (scale={scale.name})")
+    print(result["report"])
+    print(format_table(result["comparisons"]))
+
+    rows = result["rows"]
+    assert len(rows) == 2 * len(scale.resnet_depths)
+    # Cost claims are exact: the quadratic network at depth d is cheaper than
+    # the next deeper linear network (the -29% / -50% arrows of Fig. 4).
+    for comparison in result["comparisons"]:
+        assert comparison["parameter_change"] < -0.25
+        assert comparison["mac_change"] < -0.25
+
+
+def test_fig4_paper_scale_costs(benchmark):
+    """Exact cost axes of Fig. 4 at the paper's architecture scale (no training)."""
+    rows = run_once(benchmark, fig4.paper_scale_costs, (20, 32), 9)
+
+    print("\n[Fig. 4] paper-scale cost axes (32x32 inputs, width 16, k = 9)")
+    print(format_table(rows))
+
+    by_model = {row["model"]: row for row in rows}
+    # ResNet-20/32 parameter budgets reported by the paper's Fig. 4 x-axis.
+    assert abs(by_model["ResNet-20/linear"]["parameters_millions"] - 0.27) < 0.03
+    assert abs(by_model["ResNet-32/linear"]["parameters_millions"] - 0.46) < 0.05

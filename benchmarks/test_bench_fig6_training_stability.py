@@ -1,0 +1,28 @@
+"""Fig. 6 benchmark: training stability of the proposed neuron vs kervolution (KNN-n).
+
+Trains the scaled ResNet-18 stability configurations and reports divergence
+flags, loss fluctuation and accuracy, mirroring the Fig. 6 curves.
+"""
+
+from repro.experiments import fig6
+
+from conftest import run_once
+
+
+def test_fig6_training_stability(benchmark, scale):
+    result = run_once(benchmark, fig6.run, scale)
+
+    print(f"\n[Fig. 6] training stability (scale={scale.name})")
+    print(result["report"])
+    print("stable runs:   ", ", ".join(result["comparison"]["stable"]) or "(none)")
+    print("diverged runs: ", ", ".join(result["comparison"]["diverged"]) or "(none)")
+
+    reports = {report["label"]: report for report in result["reports"]}
+    ours = reports["Ours"]
+    # The proposed neuron must train stably in every layer.
+    assert not ours["diverged"]
+    # The paper's qualitative claim: deploying the neuron everywhere beats the
+    # kervolution configurations, which degrade/destabilize as more layers use them.
+    knn_reports = [report for label, report in reports.items() if label.startswith("KNN-")]
+    assert ours["best_train_accuracy"] >= max(report["best_train_accuracy"]
+                                              for report in knn_reports)

@@ -1,0 +1,28 @@
+"""Fig. 7 benchmark: per-layer distribution of linear vs quadratic parameters.
+
+Trains a quadratic ResNet on the CIFAR-100 stand-in and reports the spread of
+the Λ parameters per layer, checking the paper's observation that the
+quadratic parameters are used unevenly across depth.
+"""
+
+from repro.experiments import fig7
+
+from conftest import run_once
+
+
+def test_fig7_parameter_distribution(benchmark, scale):
+    result = run_once(benchmark, fig7.run, scale)
+
+    print(f"\n[Fig. 7] quadratic parameter distribution per layer (scale={scale.name})")
+    print(result["report"])
+    summary = result["summary"]
+    print(f"most significant layers : {summary['most_significant_layers']}")
+    print(f"least significant layers: {summary['least_significant_layers']}")
+    print(f"spread ratio max/min    : {summary['spread_ratio_max_to_min']:.2f}")
+
+    assert summary["num_layers"] > 0
+    # Fig. 7's observation: the importance of the quadratic term differs a lot
+    # between layers (some spreads are much larger than others).
+    assert summary["spread_ratio_max_to_min"] > 1.5
+    kinds = {row["kind"] for row in result["stats"]}
+    assert kinds == {"linear", "quadratic"}

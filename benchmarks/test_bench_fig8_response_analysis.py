@@ -1,0 +1,27 @@
+"""Fig. 8 benchmark: linear vs quadratic response analysis of a trained quadratic CNN.
+
+Trains a small quadratic CNN, extracts the linear and quadratic response maps
+of its first quadratic convolution for several test images, and reports the
+low-frequency energy fractions that quantify the paper's visual observation.
+"""
+
+from repro.experiments import fig8
+
+from conftest import run_once
+
+
+def test_fig8_response_analysis(benchmark, scale):
+    result = run_once(benchmark, fig8.run, scale)
+
+    print(f"\n[Fig. 8] linear vs quadratic response frequency split (scale={scale.name})")
+    print(result["report"])
+    summary = result["summary"]
+    print(f"mean low-frequency fraction: linear={summary['mean_linear_low_fraction']:.3f} "
+          f"quadratic={summary['mean_quadratic_low_fraction']:.3f}")
+
+    assert result["rows"], "expected per-image response rows"
+    for row in result["rows"]:
+        assert 0.0 <= row["linear_low_fraction"] <= 1.0
+        assert 0.0 <= row["quadratic_low_fraction"] <= 1.0
+    # Both response maps must be non-degenerate (non-zero activity).
+    assert all(row["quadratic_response_std"] > 0 for row in result["rows"])

@@ -1,0 +1,25 @@
+"""Table I benchmark: regenerate the neuron complexity table and verify it.
+
+Prints the parameter / MAC counts of every neuron design for the paper's
+reference setting (n = 27, k = 9) and checks the implementation-level counts
+against the symbolic formulas.
+"""
+
+from repro.experiments import table1
+from repro.experiments.reporting import format_table
+
+from conftest import run_once
+
+
+def test_table1_complexity(benchmark):
+    result = run_once(benchmark, table1.run)
+
+    print("\n[Table I] neuron complexity (n = 27, k = 9)")
+    print(result["report"])
+    print(format_table(result["verification"]))
+
+    rows = {row["neuron"]: row for row in result["tables"][(27, 9)]}
+    assert rows["proposed"]["parameters"] == 279          # Eq. (9)
+    assert rows["proposed"]["macs"] == 288                 # Eq. (10)
+    assert rows["proposed"]["parameters_per_output"] < rows["quad2"]["parameters_per_output"]
+    assert all(row["match"] for row in result["verification"])

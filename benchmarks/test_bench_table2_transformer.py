@@ -1,0 +1,33 @@
+"""Table II benchmark: baseline vs quadratic Transformer on the translation stand-in.
+
+Trains the baseline Transformer and the quadratic Transformers (one per Λ
+learning rate), scores BLEU under the four evaluation settings of Table II and
+reports the parameter reduction.
+"""
+
+from repro.experiments import table2
+
+from conftest import run_once
+
+
+def test_table2_translation(benchmark, scale):
+    result = run_once(benchmark, table2.run, scale)
+
+    print(f"\n[Table II] translation BLEU and parameters (scale={scale.name})")
+    print(result["report"])
+    parameters = result["parameters"]
+    print(f"baseline parameters : {parameters['baseline_parameters']:,}")
+    print(f"quadratic parameters: {parameters['quadratic_parameters']:,} "
+          f"({parameters['parameter_change'] * 100:+.1f}%)")
+
+    assert len(result["rows"]) == 4
+    # Paper: the quadratic Transformer cuts parameters (and therefore FLOPs,
+    # which scale with parameters) by roughly 20%.
+    assert parameters["parameter_change"] < -0.10
+    for row in result["rows"]:
+        for key, value in row.items():
+            if key == "baseline" or key.startswith("quadratic_"):
+                assert 0.0 <= value <= 100.0
+    if scale.name != "smoke":
+        # With a non-trivial training budget the translations must be meaningful.
+        assert all(row["baseline"] > 5.0 for row in result["rows"])

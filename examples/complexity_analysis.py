@@ -1,0 +1,65 @@
+"""Complexity analysis: regenerate Table I and the cost axes of Figs. 4 and 5.
+
+This example needs no training at all — it reproduces every *analytic* claim
+of the paper: the per-neuron costs of Table I, the whole-model parameter/MAC
+budgets of the CIFAR ResNets, and the savings of the proposed neuron over the
+prior quadratic neurons.
+
+Run with::
+
+    python examples/complexity_analysis.py
+"""
+
+import numpy as np
+
+from repro.experiments.fig4 import paper_scale_costs
+from repro.experiments.reporting import format_table
+from repro.metrics import profile_model
+from repro.models import CifarResNet
+from repro.quadratic import table_i_rows
+from repro.tensor import Tensor
+
+
+def print_table_i() -> None:
+    print("=" * 70)
+    print("Table I — neuron complexity for a 3x3x3 receptive field (n = 27), k = 9")
+    rows = table_i_rows(27, 9)
+    print(format_table(rows, columns=["neuron", "formula", "parameters", "macs",
+                                      "parameters_per_output", "macs_per_output"]))
+
+
+def print_paper_scale_resnet_costs() -> None:
+    print("=" * 70)
+    print("Fig. 4 cost axes — CIFAR ResNets at the paper's scale (32x32, width 16, k = 9)")
+    rows = paper_scale_costs(depths=(20, 32, 44, 56), rank=9)
+    print(format_table(rows, columns=["model", "parameters_millions", "macs_millions"]))
+    by_model = {row["model"]: row for row in rows}
+    for quadratic_depth, linear_depth in ((32, 44), (20, 32)):
+        quadratic = by_model[f"ResNet-{quadratic_depth}/proposed"]
+        linear = by_model[f"ResNet-{linear_depth}/linear"]
+        saving = quadratic["parameters_millions"] / linear["parameters_millions"] - 1
+        print(f"  quadratic ResNet-{quadratic_depth} vs linear ResNet-{linear_depth}: "
+              f"{saving:+.1%} parameters")
+
+
+def print_fig5_style_savings() -> None:
+    print("=" * 70)
+    print("Fig. 5 cost comparison — proposed vs Quad-1/Quad-2 at equal depth/width")
+    example = Tensor(np.zeros((1, 3, 32, 32), dtype=np.float32))
+    profiles = {}
+    for neuron_type in ("proposed", "quad1", "quad2"):
+        model = CifarResNet(20, neuron_type=neuron_type, rank=9, base_width=16, seed=0)
+        profiles[neuron_type] = profile_model(model, example)
+    rows = [{"neuron": name, "parameters_millions": profile.parameters_millions,
+             "macs_millions": profile.macs_millions}
+            for name, profile in profiles.items()]
+    print(format_table(rows))
+    for baseline in ("quad1", "quad2"):
+        saving = profiles["proposed"].total_parameters / profiles[baseline].total_parameters - 1
+        print(f"  proposed vs {baseline}: {saving:+.1%} parameters")
+
+
+if __name__ == "__main__":
+    print_table_i()
+    print_paper_scale_resnet_costs()
+    print_fig5_style_savings()

@@ -1,0 +1,65 @@
+"""Neuron response and parameter-distribution analysis (Figs. 7 and 8, small scale).
+
+Trains a small quadratic CNN, then:
+
+* prints the per-layer spread of the quadratic eigenvalue parameters Λ
+  (Fig. 7 — which layers actually use their second-order term), and
+* compares the spatial-frequency content of the linear response ``wᵀx + b``
+  and the quadratic response ``y₂ᵏ`` of the first quadratic convolution
+  (Fig. 8 — the quadratic part focuses on low-frequency, whole-object
+  structure).
+
+Run with::
+
+    python examples/neuron_response_analysis.py
+"""
+
+from repro.analysis import (
+    collect_parameter_distribution,
+    frequency_energy_split,
+    layer_responses,
+    quadratic_significance,
+)
+from repro.experiments import get_scale
+from repro.experiments.common import build_image_dataset, train_image_classifier
+from repro.experiments.reporting import format_table
+from repro.models import SimpleCNN
+from repro.quadratic import EfficientQuadraticConv2d
+
+
+def main() -> None:
+    scale = get_scale("bench").with_overrides(epochs=8)
+    dataset = build_image_dataset(scale, seed=11)
+    model = SimpleCNN(num_classes=scale.num_classes, neuron_type="proposed", rank=scale.rank,
+                      base_width=scale.base_width, image_size=scale.image_size, seed=11)
+    print("training a small quadratic CNN ...")
+    trainer, metrics = train_image_classifier(model, dataset, scale)
+    print(f"test accuracy: {metrics['accuracy']:.3f}")
+
+    print("\nFig. 7 — quadratic parameter spread per layer")
+    stats = collect_parameter_distribution(model)
+    significance = quadratic_significance(stats)
+    rows = [{"layer": index, "lambda_spread_95_05": spread}
+            for index, spread in sorted(significance.items())]
+    print(format_table(rows))
+
+    print("\nFig. 8 — response frequency analysis of the first quadratic convolution")
+    layer = next(module for module in model.modules()
+                 if isinstance(module, EfficientQuadraticConv2d))
+    responses = layer_responses(layer, dataset.test_images[:4])
+    rows = []
+    for image_index in range(4):
+        rows.append({
+            "image": image_index,
+            "linear_low_freq": frequency_energy_split(
+                responses.linear[image_index])["low_fraction"],
+            "quadratic_low_freq": frequency_energy_split(
+                responses.quadratic[image_index])["low_fraction"],
+        })
+    print(format_table(rows))
+    print("\nHigher 'quadratic_low_freq' than 'linear_low_freq' reproduces the paper's")
+    print("observation that quadratic responses capture whole-object, low-frequency structure.")
+
+
+if __name__ == "__main__":
+    main()

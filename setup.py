@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+package can also be installed in environments whose tooling predates PEP 660
+editable installs (``python setup.py develop`` or legacy ``pip install -e .``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — reproduction of "Computational and Storage Efficient Quadratic Neurons
+for Deep Neural Networks" (Chen et al., DATE 2024).
+
+The package is organised bottom-up:
+
+* :mod:`repro.tensor`      — NumPy autograd engine (the substrate).
+* :mod:`repro.nn`          — layers, containers, losses, initializers.
+* :mod:`repro.optim`       — SGD/Adam and learning-rate schedules.
+* :mod:`repro.quadratic`   — the paper's efficient quadratic neuron, every
+  prior-work baseline neuron, decomposition utilities and the Table I cost model.
+* :mod:`repro.models`      — ResNets, CNNs, MLPs and Transformers with
+  switchable neuron types.
+* :mod:`repro.data`        — synthetic CIFAR/ImageNet/WMT14 stand-ins,
+  augmentation and loaders.
+* :mod:`repro.metrics`     — accuracy, BLEU, parameter/MAC profiler.
+* :mod:`repro.training`    — classification and seq2seq training loops.
+* :mod:`repro.analysis`    — parameter-distribution, response and stability analyses.
+* :mod:`repro.experiments` — one driver per table/figure of the paper.
+"""
+
+from . import analysis, data, experiments, metrics, models, nn, optim, quadratic, tensor
+from . import training
+from .quadratic import (
+    EfficientQuadraticConv2d,
+    EfficientQuadraticLinear,
+    QuadraticDecomposition,
+    neuron_complexity,
+    table_i_rows,
+)
+from .tensor import Tensor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "data",
+    "experiments",
+    "metrics",
+    "models",
+    "nn",
+    "optim",
+    "quadratic",
+    "tensor",
+    "training",
+    "Tensor",
+    "EfficientQuadraticConv2d",
+    "EfficientQuadraticLinear",
+    "QuadraticDecomposition",
+    "neuron_complexity",
+    "table_i_rows",
+    "__version__",
+]

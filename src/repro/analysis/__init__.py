@@ -1,0 +1,21 @@
+"""Analysis tools for the paper's Sec. IV-C studies (Figs. 6, 7 and 8)."""
+
+from .parameter_distribution import (
+    LayerParameterStats,
+    collect_parameter_distribution,
+    quadratic_significance,
+)
+from .response import ResponseMaps, layer_responses, frequency_energy_split
+from .stability import StabilityReport, analyze_history, compare_stability
+
+__all__ = [
+    "LayerParameterStats",
+    "collect_parameter_distribution",
+    "quadratic_significance",
+    "ResponseMaps",
+    "layer_responses",
+    "frequency_energy_split",
+    "StabilityReport",
+    "analyze_history",
+    "compare_stability",
+]

@@ -1,0 +1,91 @@
+"""Per-layer parameter distribution analysis (Fig. 7 of the paper).
+
+Fig. 7 plots the distribution of *linear* convolution weights and *quadratic*
+eigenvalue parameters Λᵏ across the layers of a trained ResNet-20, observing
+that the quadratic parameters collapse towards zero in some layers while
+staying significant in others.  This module collects exactly those statistics
+from any trained model built with the proposed neurons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Linear
+from ..nn.module import Module
+from ..quadratic.efficient import EfficientQuadraticConv2d, EfficientQuadraticLinear
+
+__all__ = ["LayerParameterStats", "collect_parameter_distribution", "quadratic_significance"]
+
+
+@dataclass
+class LayerParameterStats:
+    """Distribution summary of one layer's parameters of one kind."""
+
+    layer_index: int
+    layer_name: str
+    kind: str                   # "linear" or "quadratic"
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+    quantile_05: float
+    quantile_95: float
+    count: int
+
+    @classmethod
+    def from_values(cls, layer_index: int, layer_name: str, kind: str,
+                    values: np.ndarray) -> "LayerParameterStats":
+        flat = np.asarray(values, dtype=np.float64).reshape(-1)
+        return cls(
+            layer_index=layer_index,
+            layer_name=layer_name,
+            kind=kind,
+            minimum=float(flat.min()),
+            maximum=float(flat.max()),
+            mean=float(flat.mean()),
+            std=float(flat.std()),
+            quantile_05=float(np.quantile(flat, 0.05)),
+            quantile_95=float(np.quantile(flat, 0.95)),
+            count=int(flat.size),
+        )
+
+
+def collect_parameter_distribution(model: Module) -> list[LayerParameterStats]:
+    """Walk the model and summarize linear vs quadratic parameters per neuron layer.
+
+    Linear statistics come from the convolution / dense weights ``w`` (and the
+    linear part of the proposed neuron); quadratic statistics come from the
+    eigenvalue parameters Λᵏ.  The layer index counts neuron layers in forward
+    order, matching the x-axis of Fig. 7.
+    """
+    stats: list[LayerParameterStats] = []
+    layer_index = 0
+    for name, module in model.named_modules():
+        if isinstance(module, (EfficientQuadraticConv2d, EfficientQuadraticLinear)):
+            layer_index += 1
+            stats.append(LayerParameterStats.from_values(
+                layer_index, name, "linear", module.weight.data))
+            stats.append(LayerParameterStats.from_values(
+                layer_index, name, "quadratic", module.lambdas.data))
+        elif isinstance(module, (Conv2d, Linear)):
+            layer_index += 1
+            stats.append(LayerParameterStats.from_values(
+                layer_index, name, "linear", module.weight.data))
+    return stats
+
+
+def quadratic_significance(stats: list[LayerParameterStats]) -> dict[int, float]:
+    """Spread (95th − 5th percentile) of quadratic parameters per layer.
+
+    The paper uses the spread of Λᵏ to argue that quadratic neurons matter in
+    some layers (wide spread) and are nearly inactive in others (spread ≈ 0),
+    so per-layer deployment choices matter.
+    """
+    significance: dict[int, float] = {}
+    for stat in stats:
+        if stat.kind == "quadratic":
+            significance[stat.layer_index] = stat.quantile_95 - stat.quantile_05
+    return significance

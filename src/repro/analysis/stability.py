@@ -1,0 +1,102 @@
+"""Training-stability analysis (Fig. 6 of the paper).
+
+Fig. 6 compares the training curves of ResNet-18 equipped with kervolutional
+neurons in the first ``n`` layers ("KNN-n") against the proposed quadratic
+neuron in all layers, and marks runs whose loss diverges.  These helpers turn
+a :class:`repro.training.History` into the quantities needed for that
+comparison: divergence flags, loss fluctuation, and final/best accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..training.history import History
+
+__all__ = ["StabilityReport", "analyze_history", "compare_stability"]
+
+
+@dataclass
+class StabilityReport:
+    """Summary of one training run's stability."""
+
+    label: str
+    diverged: bool
+    divergence_epoch: int | None
+    final_train_loss: float
+    best_train_accuracy: float
+    final_eval_accuracy: float | None
+    loss_fluctuation: float
+    max_loss: float
+    eval_extreme_values: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "diverged": self.diverged,
+            "divergence_epoch": self.divergence_epoch,
+            "final_train_loss": self.final_train_loss,
+            "best_train_accuracy": self.best_train_accuracy,
+            "final_eval_accuracy": self.final_eval_accuracy,
+            "loss_fluctuation": self.loss_fluctuation,
+            "max_loss": self.max_loss,
+            "eval_extreme_values": self.eval_extreme_values,
+        }
+
+
+def analyze_history(history: History, label: str = "") -> StabilityReport:
+    """Summarize a training history into a :class:`StabilityReport`.
+
+    ``loss_fluctuation`` is the standard deviation of epoch-to-epoch loss
+    differences — the quantitative analogue of the "obvious fluctuation" the
+    paper points at in the unstable KNN curves.
+    """
+    losses = [value for value in history.column("train_loss")]
+    finite_losses = [value for value in losses if math.isfinite(value)]
+    diverged_flags = history.column("diverged")
+    diverged = bool(diverged_flags and diverged_flags[-1]) or any(
+        not math.isfinite(value) for value in losses)
+
+    divergence_epoch = None
+    for record in history:
+        loss = record.get("train_loss", 0.0)
+        if record.get("diverged") or not math.isfinite(loss):
+            divergence_epoch = record["epoch"]
+            break
+
+    if len(finite_losses) >= 2:
+        fluctuation = float(np.std(np.diff(finite_losses)))
+    else:
+        fluctuation = 0.0
+
+    # The paper notes "extreme values can be found during the testing process"
+    # for the unstable kervolution runs; a non-finite (or huge) held-out loss
+    # at any epoch captures the same symptom.
+    eval_losses = history.column("eval_loss")
+    eval_extreme = any(not math.isfinite(value) or abs(value) > 1e3 for value in eval_losses)
+
+    return StabilityReport(
+        eval_extreme_values=eval_extreme,
+        label=label,
+        diverged=diverged,
+        divergence_epoch=divergence_epoch,
+        final_train_loss=finite_losses[-1] if finite_losses else float("inf"),
+        best_train_accuracy=history.best("train_accuracy", mode="max") or 0.0,
+        final_eval_accuracy=history.last("eval_accuracy"),
+        loss_fluctuation=fluctuation,
+        max_loss=max(finite_losses) if finite_losses else float("inf"),
+    )
+
+
+def compare_stability(reports: list[StabilityReport]) -> dict:
+    """Rank runs: stable runs first, then by best training accuracy."""
+    ranked = sorted(reports, key=lambda report: (report.diverged,
+                                                 -report.best_train_accuracy))
+    return {
+        "ranking": [report.label for report in ranked],
+        "stable": [report.label for report in reports if not report.diverged],
+        "diverged": [report.label for report in reports if report.diverged],
+    }

@@ -1,0 +1,60 @@
+"""Mini-batch iteration over in-memory NumPy datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate ``(inputs, targets)`` mini-batches with optional shuffling/augmentation.
+
+    Parameters
+    ----------
+    inputs, targets:
+        Aligned NumPy arrays; the first axis is the example axis.
+    batch_size:
+        Mini-batch size; the final partial batch is kept unless ``drop_last``.
+    shuffle:
+        Reshuffle example order at the start of every epoch.
+    augmentation:
+        Optional callable ``f(batch_inputs, rng) -> batch_inputs`` applied to
+        every batch (training-time data augmentation).
+    """
+
+    def __init__(self, inputs: np.ndarray, targets: np.ndarray, batch_size: int = 32,
+                 shuffle: bool = True, augmentation=None, drop_last: bool = False,
+                 seed: int = 0):
+        if len(inputs) != len(targets):
+            raise ValueError(f"inputs ({len(inputs)}) and targets ({len(targets)}) "
+                             "must have the same length")
+        self.inputs = inputs
+        self.targets = targets
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.augmentation = augmentation
+        self.drop_last = drop_last
+        self.rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.inputs), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.inputs))
+        if self.shuffle:
+            self.rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            batch_indices = order[start:start + self.batch_size]
+            if self.drop_last and len(batch_indices) < self.batch_size:
+                break
+            batch_inputs = self.inputs[batch_indices]
+            batch_targets = self.targets[batch_indices]
+            if self.augmentation is not None:
+                batch_inputs = self.augmentation(batch_inputs, self.rng)
+            yield batch_inputs, batch_targets

@@ -1,0 +1,190 @@
+"""Synthetic English→German-style translation corpus (WMT14 newstest stand-in).
+
+The Table II experiment needs a sequence-to-sequence task on which (a) a small
+Transformer can be trained from scratch on CPU, (b) BLEU is a meaningful
+metric, and (c) the four evaluation settings of the paper (13a vs
+"international" tokenization, cased vs uncased) actually produce different
+numbers.  This module builds such a task from a miniature bilingual grammar:
+
+* a word-level dictionary maps each source word to a target word;
+* target sentences follow verb-final order (the verb of the source main clause
+  moves to the end), so the model has to learn a non-trivial reordering;
+* target nouns are capitalized (German orthography), which makes cased and
+  uncased BLEU differ;
+* adjectives take an ``-n`` suffix in front of plural nouns (simple
+  morphology);
+* sentence-final punctuation stays attached to the last word in the *surface*
+  string, so the 13a-style tokenizer (which splits punctuation) and the
+  international tokenizer (which splits on every non-letter) score differently.
+
+The mapping is deterministic given the random seed, so train/test splits are
+reproducible and test sentences are unseen combinations rather than unseen
+rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .vocabulary import Vocabulary, BOS_ID, EOS_ID, PAD_ID
+
+__all__ = ["TranslationPair", "SyntheticTranslationTask"]
+
+
+# Miniature bilingual lexicon: (source, target, part-of-speech).
+_NAMES = [("anna", "Anna"), ("peter", "Peter"), ("maria", "Maria"), ("john", "Johann"),
+          ("lisa", "Lisa"), ("tom", "Thomas")]
+_NOUNS = [("ball", "Ball"), ("house", "Haus"), ("dog", "Hund"), ("cat", "Katze"),
+          ("tree", "Baum"), ("car", "Auto"), ("book", "Buch"), ("table", "Tisch"),
+          ("fish", "Fisch"), ("garden", "Garten")]
+_VERBS = [("sees", "sieht"), ("likes", "mag"), ("finds", "findet"), ("takes", "nimmt"),
+          ("holds", "haelt"), ("wants", "will"), ("buys", "kauft"), ("paints", "malt")]
+_ADJECTIVES = [("red", "rote"), ("big", "grosse"), ("old", "alte"), ("new", "neue"),
+               ("small", "kleine"), ("good", "gute"), ("green", "gruene"), ("blue", "blaue")]
+_DETERMINERS = [("the", "das"), ("a", "ein"), ("this", "dieses"), ("every", "jedes")]
+_ADVERBS = [("today", "heute"), ("often", "oft"), ("now", "jetzt"), ("here", "hier")]
+
+
+@dataclass(frozen=True)
+class TranslationPair:
+    """A single parallel sentence: tokenized model inputs plus surface strings."""
+
+    source_tokens: tuple[str, ...]
+    target_tokens: tuple[str, ...]
+    source_text: str
+    target_text: str
+
+
+class SyntheticTranslationTask:
+    """Deterministic parallel corpus with train/test splits and model-ready arrays."""
+
+    def __init__(self, train_size: int = 512, test_size: int = 96, max_len: int = 16,
+                 seed: int = 0):
+        self.train_size = train_size
+        self.test_size = test_size
+        self.max_len = max_len
+        self.seed = seed
+
+        rng = np.random.default_rng(seed)
+        total = train_size + test_size
+        pairs = [self._generate_pair(rng) for _ in range(total)]
+        self.train_pairs = pairs[:train_size]
+        self.test_pairs = pairs[train_size:]
+
+        source_tokens = sorted({token for pair in pairs for token in pair.source_tokens})
+        target_tokens = sorted({token for pair in pairs for token in pair.target_tokens})
+        self.source_vocab = Vocabulary(source_tokens)
+        self.target_vocab = Vocabulary(target_tokens)
+
+        self.bos_id = BOS_ID
+        self.eos_id = EOS_ID
+        self.pad_id = PAD_ID
+
+    # -- sentence generation ----------------------------------------------------
+
+    def _generate_clause(self, rng: np.random.Generator) -> tuple[list[str], list[str]]:
+        """One subject–verb–object clause; the target clause is verb-final."""
+        name_src, name_tgt = _NAMES[rng.integers(len(_NAMES))]
+        verb_src, verb_tgt = _VERBS[rng.integers(len(_VERBS))]
+        det_src, det_tgt = _DETERMINERS[rng.integers(len(_DETERMINERS))]
+        adj_src, adj_tgt = _ADJECTIVES[rng.integers(len(_ADJECTIVES))]
+        noun_src, noun_tgt = _NOUNS[rng.integers(len(_NOUNS))]
+
+        use_adverb = rng.random() < 0.4
+        use_adjective = rng.random() < 0.7
+
+        source = [name_src, verb_src, det_src]
+        target = [name_tgt, det_tgt]
+        if use_adjective:
+            source.append(adj_src)
+            target.append(adj_tgt)
+        source.append(noun_src)
+        target.append(noun_tgt)
+        if use_adverb:
+            adv_src, adv_tgt = _ADVERBS[rng.integers(len(_ADVERBS))]
+            source.append(adv_src)
+            target.append(adv_tgt)
+        # Verb-final order in the target language.
+        target.append(verb_tgt)
+        return source, target
+
+    def _generate_pair(self, rng: np.random.Generator) -> TranslationPair:
+        source, target = self._generate_clause(rng)
+        # Compound sentences ("... and ...") join two clauses; both target
+        # clauses keep their verb-final order, which forces the model to learn
+        # a longer-range reordering than single-clause sentences.
+        if rng.random() < 0.45:
+            second_source, second_target = self._generate_clause(rng)
+            source = source + ["and"] + second_source
+            target = target + ["und"] + second_target
+        punctuation = "." if rng.random() < 0.8 else "!"
+        source.append(punctuation)
+        target.append(punctuation)
+
+        source_text = self._detokenize(source)
+        target_text = self._detokenize(target)
+        return TranslationPair(tuple(source), tuple(target), source_text, target_text)
+
+    @staticmethod
+    def _detokenize(tokens: list[str]) -> str:
+        """Join tokens into a surface string with punctuation attached."""
+        text = ""
+        for token in tokens:
+            if token in {".", "!", ",", "?"}:
+                text = text.rstrip() + token + " "
+            else:
+                text += token + " "
+        return text.strip()
+
+    # -- model-ready encodings -----------------------------------------------------
+
+    def encode_pairs(self, pairs: list[TranslationPair]
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Encode pairs into ``(source_ids, decoder_input_ids, decoder_target_ids)``.
+
+        Decoder inputs start with ``<bos>`` and exclude the final token;
+        decoder targets exclude ``<bos>`` and end with ``<eos>`` — the standard
+        teacher-forcing shift.
+        """
+        source_ids = [self.source_vocab.encode(pair.source_tokens, add_eos=True)
+                      for pair in pairs]
+        target_full = [self.target_vocab.encode(pair.target_tokens, add_bos=True, add_eos=True)
+                       for pair in pairs]
+        decoder_input = [sequence[:-1] for sequence in target_full]
+        decoder_target = [sequence[1:] for sequence in target_full]
+        return (Vocabulary.pad_batch(source_ids, self.max_len),
+                Vocabulary.pad_batch(decoder_input, self.max_len),
+                Vocabulary.pad_batch(decoder_target, self.max_len))
+
+    def training_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self.encode_pairs(self.train_pairs)
+
+    def test_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self.encode_pairs(self.test_pairs)
+
+    # -- evaluation helpers -----------------------------------------------------------
+
+    def references(self, pairs: list[TranslationPair] | None = None) -> list[str]:
+        """Surface reference strings for BLEU evaluation (test split by default)."""
+        pairs = pairs if pairs is not None else self.test_pairs
+        return [pair.target_text for pair in pairs]
+
+    def hypotheses_from_ids(self, batched_ids: list[list[int]]) -> list[str]:
+        """Convert decoded target-token ids back to surface strings."""
+        hypotheses = []
+        for ids in batched_ids:
+            tokens = self.target_vocab.decode(ids)
+            hypotheses.append(self._detokenize(tokens))
+        return hypotheses
+
+    def describe(self) -> dict:
+        return {
+            "train_size": self.train_size,
+            "test_size": self.test_size,
+            "max_len": self.max_len,
+            "source_vocab": len(self.source_vocab),
+            "target_vocab": len(self.target_vocab),
+            "seed": self.seed,
+        }

@@ -1,0 +1,66 @@
+"""Token vocabulary with the special symbols used by the sequence models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Vocabulary", "PAD_ID", "BOS_ID", "EOS_ID", "UNK_ID"]
+
+PAD_ID = 0
+BOS_ID = 1
+EOS_ID = 2
+UNK_ID = 3
+
+_SPECIALS = ["<pad>", "<bos>", "<eos>", "<unk>"]
+
+
+class Vocabulary:
+    """Bidirectional token ↔ id mapping with ``<pad>/<bos>/<eos>/<unk>`` specials."""
+
+    def __init__(self, tokens):
+        self.id_to_token = list(_SPECIALS)
+        seen = set(self.id_to_token)
+        for token in tokens:
+            if token not in seen:
+                seen.add(token)
+                self.id_to_token.append(token)
+        self.token_to_id = {token: index for index, token in enumerate(self.id_to_token)}
+
+    def __len__(self) -> int:
+        return len(self.id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.token_to_id
+
+    def encode(self, tokens, add_bos: bool = False, add_eos: bool = True) -> list[int]:
+        """Map tokens to ids, optionally wrapping with ``<bos>`` / ``<eos>``."""
+        ids = [self.token_to_id.get(token, UNK_ID) for token in tokens]
+        if add_bos:
+            ids = [BOS_ID] + ids
+        if add_eos:
+            ids = ids + [EOS_ID]
+        return ids
+
+    def decode(self, ids, strip_special: bool = True) -> list[str]:
+        """Map ids back to tokens, optionally dropping special symbols."""
+        tokens = []
+        for token_id in ids:
+            token_id = int(token_id)
+            if strip_special and token_id in (PAD_ID, BOS_ID, EOS_ID):
+                continue
+            if 0 <= token_id < len(self.id_to_token):
+                tokens.append(self.id_to_token[token_id])
+            else:
+                tokens.append("<unk>")
+        return tokens
+
+    @staticmethod
+    def pad_batch(sequences: list[list[int]], max_len: int | None = None) -> np.ndarray:
+        """Right-pad integer sequences into a dense ``(batch, max_len)`` array."""
+        if max_len is None:
+            max_len = max(len(sequence) for sequence in sequences)
+        batch = np.full((len(sequences), max_len), PAD_ID, dtype=np.int64)
+        for row, sequence in enumerate(sequences):
+            clipped = sequence[:max_len]
+            batch[row, :len(clipped)] = clipped
+        return batch

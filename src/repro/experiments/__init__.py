@@ -1,0 +1,36 @@
+"""Experiment drivers: one module per table / figure of the paper.
+
+===========  ==================================================================
+Module       Paper artifact
+===========  ==================================================================
+``table1``   Table I  — neuron parameter/MAC complexity
+``fig4``     Fig. 4   — linear vs proposed ResNets on CIFAR-10 (accuracy vs cost)
+``fig5``     Fig. 5   — proposed vs prior quadratic neurons (Quad-1 / Quad-2)
+``fig6``     Fig. 6   — training stability vs kervolutional neurons (KNN-n)
+``table2``   Table II — Transformer translation BLEU and parameter cost
+``fig7``     Fig. 7   — linear vs quadratic parameter distributions per layer
+``fig8``     Fig. 8   — linear vs quadratic neuron response analysis
+``ablation`` Extra    — rank-k sweep and vectorized-output ablation
+===========  ==================================================================
+"""
+
+from . import ablation, fig4, fig5, fig6, fig7, fig8, table1, table2
+from .config import ExperimentScale, SCALES, get_scale
+from .reporting import format_table, format_percentage, relative_change
+
+__all__ = [
+    "ablation",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table1",
+    "table2",
+    "ExperimentScale",
+    "SCALES",
+    "get_scale",
+    "format_table",
+    "format_percentage",
+    "relative_change",
+]

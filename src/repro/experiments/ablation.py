@@ -1,0 +1,93 @@
+"""Ablations of the proposed neuron's design choices.
+
+The paper motivates two design decisions analytically (Sec. III): the rank-k
+eigendecomposition (expressivity vs cost knob) and the vectorized output
+(reusing the intermediate features ``fᵏ`` instead of discarding them).  This
+driver quantifies both on the synthetic classification workload:
+
+* ``rank sweep`` — accuracy and cost of the proposed neuron for several k at a
+  fixed output width;
+* ``vectorized-output ablation`` — the same network with the extra outputs
+  enabled vs disabled (the disabled variant needs one neuron per output
+  channel, paying the full quadratic cost for every channel).
+"""
+
+from __future__ import annotations
+
+from ..metrics.profiler import profile_model
+from ..models import SimpleCNN
+from ..tensor import Tensor
+from .common import build_image_dataset, train_image_classifier
+from .config import ExperimentScale, get_scale
+from .reporting import format_table
+
+__all__ = ["run_rank_sweep", "run_vectorized_output_ablation", "run"]
+
+
+def _evaluate_configuration(label: str, neuron_kwargs: dict, rank: int,
+                            scale: ExperimentScale, dataset) -> dict:
+    model = SimpleCNN(num_classes=scale.num_classes, neuron_type="proposed", rank=rank,
+                      base_width=scale.base_width, image_size=scale.image_size,
+                      neuron_kwargs=neuron_kwargs, seed=scale.seed)
+    profile = profile_model(model, Tensor(dataset.test_images[:1]))
+    trainer, metrics = train_image_classifier(model, dataset, scale)
+    return {
+        "configuration": label,
+        "rank": rank,
+        "test_accuracy": metrics["accuracy"],
+        "parameters": profile.total_parameters,
+        "macs": profile.total_macs,
+        "diverged": trainer.diverged,
+    }
+
+
+def run_rank_sweep(scale: ExperimentScale | None = None,
+                   ranks: tuple[int, ...] = (1, 3, 6, 9)) -> dict:
+    """Sweep the decomposition rank k at fixed output width."""
+    scale = scale or get_scale("bench")
+    dataset = build_image_dataset(scale, seed=scale.seed + 41)
+    rows = [_evaluate_configuration(f"rank-{rank}", {}, rank, scale, dataset)
+            for rank in ranks]
+    return {"rows": rows, "report": format_table(rows), "scale": scale.name}
+
+
+def run_vectorized_output_ablation(scale: ExperimentScale | None = None) -> dict:
+    """Compare the proposed neuron with and without the vectorized output."""
+    scale = scale or get_scale("bench")
+    dataset = build_image_dataset(scale, seed=scale.seed + 43)
+    rows = [
+        _evaluate_configuration("vectorized-output", {"vectorized_output": True},
+                                scale.rank, scale, dataset),
+        _evaluate_configuration("scalar-output", {"vectorized_output": False},
+                                scale.rank, scale, dataset),
+    ]
+    comparison = {
+        "parameter_ratio": rows[1]["parameters"] / max(rows[0]["parameters"], 1),
+        "mac_ratio": rows[1]["macs"] / max(rows[0]["macs"], 1),
+        "accuracy_difference": rows[0]["test_accuracy"] - rows[1]["test_accuracy"],
+    }
+    return {"rows": rows, "comparison": comparison, "report": format_table(rows),
+            "scale": scale.name}
+
+
+def run(scale: ExperimentScale | None = None) -> dict:
+    """Run both ablations."""
+    scale = scale or get_scale("bench")
+    return {
+        "rank_sweep": run_rank_sweep(scale),
+        "vectorized_output": run_vectorized_output_ablation(scale),
+    }
+
+
+def main(scale_name: str = "bench") -> None:
+    """Command-line entry point: print both ablation tables."""
+    result = run(get_scale(scale_name))
+    print("Ablation — decomposition rank")
+    print(result["rank_sweep"]["report"])
+    print()
+    print("Ablation — vectorized output")
+    print(result["vectorized_output"]["report"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Shared building blocks for the experiment drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import DataLoader, SyntheticImageClassification, standard_cifar_augmentation
+from ..metrics.profiler import ModelProfile, profile_model
+from ..nn import CrossEntropyLoss
+from ..nn.module import Module
+from ..optim import SGD, MultiStepLR, split_parameter_groups
+from ..tensor import Tensor
+from ..training import Trainer
+from .config import ExperimentScale
+
+__all__ = [
+    "build_image_dataset",
+    "make_trainer",
+    "train_image_classifier",
+    "profile_classifier",
+    "classifier_result_row",
+]
+
+
+def build_image_dataset(scale: ExperimentScale, num_classes: int | None = None,
+                        image_size: int | None = None, train_size: int | None = None,
+                        test_size: int | None = None, seed: int | None = None
+                        ) -> SyntheticImageClassification:
+    """Create the synthetic image-classification workload for a given scale."""
+    return SyntheticImageClassification(
+        num_classes=num_classes if num_classes is not None else scale.num_classes,
+        image_size=image_size if image_size is not None else scale.image_size,
+        train_size=train_size if train_size is not None else scale.train_size,
+        test_size=test_size if test_size is not None else scale.test_size,
+        noise_level=scale.noise_level,
+        seed=seed if seed is not None else scale.seed,
+    )
+
+
+def make_trainer(model: Module, scale: ExperimentScale, epochs: int | None = None,
+                 learning_rate: float | None = None,
+                 quadratic_learning_rate: float | None = None) -> Trainer:
+    """SGD + multi-step schedule trainer with the paper's two-group learning rates."""
+    epochs = epochs or scale.epochs
+    base_lr = learning_rate if learning_rate is not None else scale.learning_rate
+    quadratic_lr = (quadratic_learning_rate if quadratic_learning_rate is not None
+                    else scale.quadratic_learning_rate)
+    groups = split_parameter_groups(model, base_lr=base_lr, quadratic_lr=quadratic_lr)
+    optimizer = SGD(groups, lr=base_lr, momentum=scale.momentum,
+                    weight_decay=scale.weight_decay)
+    scheduler = MultiStepLR(optimizer, milestones=scale.lr_milestones(epochs), gamma=0.1)
+    return Trainer(model, optimizer, CrossEntropyLoss(), scheduler=scheduler)
+
+
+def train_image_classifier(model: Module, dataset: SyntheticImageClassification,
+                           scale: ExperimentScale, epochs: int | None = None,
+                           learning_rate: float | None = None,
+                           quadratic_learning_rate: float | None = None,
+                           augment: bool = True) -> tuple[Trainer, dict]:
+    """Train ``model`` on ``dataset`` and return the trainer plus final test metrics."""
+    epochs = epochs or scale.epochs
+    augmentation = standard_cifar_augmentation(scale.augmentation_padding) if augment else None
+    loader = DataLoader(dataset.train_images, dataset.train_labels,
+                        batch_size=scale.batch_size, shuffle=True,
+                        augmentation=augmentation, seed=scale.seed)
+    trainer = make_trainer(model, scale, epochs=epochs, learning_rate=learning_rate,
+                           quadratic_learning_rate=quadratic_learning_rate)
+    trainer.fit(loader, epochs, eval_inputs=dataset.test_images,
+                eval_targets=dataset.test_labels)
+    final = trainer.evaluate(dataset.test_images, dataset.test_labels) \
+        if not trainer.diverged else {"loss": float("inf"), "accuracy": 0.0}
+    return trainer, final
+
+
+def profile_classifier(model: Module, dataset: SyntheticImageClassification) -> ModelProfile:
+    """Parameter/MAC profile of an image classifier for the dataset's geometry."""
+    example = Tensor(dataset.test_images[:1])
+    return profile_model(model, example)
+
+
+def classifier_result_row(label: str, depth: int, neuron_type: str, profile: ModelProfile,
+                          metrics: dict, trainer: Trainer) -> dict:
+    """Standard row schema shared by the Fig. 4 / Fig. 5 sweeps."""
+    return {
+        "model": label,
+        "depth": depth,
+        "neuron": neuron_type,
+        "test_accuracy": metrics["accuracy"],
+        "best_train_accuracy": trainer.history.best("train_accuracy") or 0.0,
+        "parameters": profile.total_parameters,
+        "macs": profile.total_macs,
+        "parameters_millions": profile.parameters_millions,
+        "macs_millions": profile.macs_millions,
+        "diverged": trainer.diverged,
+    }

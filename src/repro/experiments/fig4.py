@@ -1,0 +1,130 @@
+"""Fig. 4 — accuracy vs parameters/FLOPs of ResNets with linear and proposed neurons.
+
+The paper sweeps ResNet-20/32/44/56/110 on CIFAR-10 with (a) conventional
+linear neurons and (b) the proposed quadratic neuron in every 3×3 convolution,
+and plots accuracy against the number of parameters and MACs.  The headline
+observations are
+
+* a quadratic ResNet matches or beats the accuracy of the *next deeper* linear
+  ResNet (e.g. quadratic ResNet-32 vs linear ResNet-44) with ≈29 % fewer
+  parameters and ≈28 % fewer MACs, and
+* for the deepest pair (quadratic ResNet-56 vs linear ResNet-110) the saving
+  grows to ≈50 %.
+
+:func:`run` trains the sweep on the synthetic CIFAR-10 stand-in at the chosen
+scale and reports the same rows; :func:`paper_scale_costs` additionally
+reproduces the exact parameter / MAC budgets of the paper-scale architectures
+(32×32 inputs, width 16, k = 9) without training, so the cost axes of Fig. 4
+can be checked against the paper directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics.profiler import profile_model
+from ..models import CifarResNet
+from ..tensor import Tensor
+from .common import (
+    build_image_dataset,
+    classifier_result_row,
+    profile_classifier,
+    train_image_classifier,
+)
+from .config import ExperimentScale, get_scale
+from .reporting import format_table, relative_change
+
+__all__ = ["run", "paper_scale_costs", "NEURON_TYPES"]
+
+NEURON_TYPES = ("linear", "proposed")
+
+
+def run(scale: ExperimentScale | None = None) -> dict:
+    """Train the Fig. 4 sweep and return rows, pairwise comparisons and a report."""
+    scale = scale or get_scale("bench")
+    dataset = build_image_dataset(scale)
+
+    rows = []
+    for depth in scale.resnet_depths:
+        for neuron_type in NEURON_TYPES:
+            model = CifarResNet(depth, num_classes=scale.num_classes, neuron_type=neuron_type,
+                                rank=scale.rank, base_width=scale.base_width,
+                                seed=scale.seed + depth)
+            profile = profile_classifier(model, dataset)
+            trainer, metrics = train_image_classifier(model, dataset, scale)
+            rows.append(classifier_result_row(
+                f"ResNet-{depth}/{neuron_type}", depth, neuron_type, profile, metrics, trainer))
+
+    comparisons = _depth_shift_comparisons(rows, scale.resnet_depths)
+    return {
+        "rows": rows,
+        "comparisons": comparisons,
+        "report": format_table(rows, columns=["model", "depth", "neuron", "test_accuracy",
+                                              "parameters", "macs"]),
+        "scale": scale.name,
+        "dataset": dataset.describe(),
+    }
+
+
+def _depth_shift_comparisons(rows: list[dict], depths: tuple[int, ...]) -> list[dict]:
+    """Quadratic ResNet at depth d vs linear ResNet at the next deeper depth.
+
+    This reproduces the paper's headline comparisons (quadratic ResNet-32 vs
+    linear ResNet-44: −29.3 % parameters; quadratic ResNet-56 vs linear
+    ResNet-110: ≈−50 %).
+    """
+    by_key = {(row["depth"], row["neuron"]): row for row in rows}
+    comparisons = []
+    depths = tuple(sorted(depths))
+    for shallow, deep in zip(depths[:-1], depths[1:]):
+        quadratic = by_key.get((shallow, "proposed"))
+        linear = by_key.get((deep, "linear"))
+        if quadratic is None or linear is None:
+            continue
+        comparisons.append({
+            "quadratic_model": quadratic["model"],
+            "linear_model": linear["model"],
+            "parameter_change": relative_change(quadratic["parameters"], linear["parameters"]),
+            "mac_change": relative_change(quadratic["macs"], linear["macs"]),
+            "accuracy_difference": quadratic["test_accuracy"] - linear["test_accuracy"],
+        })
+    return comparisons
+
+
+def paper_scale_costs(depths: tuple[int, ...] = (20, 32, 44, 56, 110), rank: int = 9,
+                      image_size: int = 32, base_width: int = 16) -> list[dict]:
+    """Analytic parameter/MAC budgets of the paper-scale Fig. 4 architectures.
+
+    No training is involved; a single batch-1 forward pass per model computes
+    the costs.  These numbers are directly comparable to the x-axes of Fig. 4
+    (parameters in millions, MACs in millions).
+    """
+    example = Tensor(np.zeros((1, 3, image_size, image_size), dtype=np.float32))
+    rows = []
+    for depth in depths:
+        for neuron_type in NEURON_TYPES:
+            model = CifarResNet(depth, num_classes=10, neuron_type=neuron_type, rank=rank,
+                                base_width=base_width, seed=0)
+            profile = profile_model(model, example)
+            rows.append({
+                "model": f"ResNet-{depth}/{neuron_type}",
+                "depth": depth,
+                "neuron": neuron_type,
+                "parameters": profile.total_parameters,
+                "parameters_millions": profile.parameters_millions,
+                "macs_millions": profile.macs_millions,
+            })
+    return rows
+
+
+def main(scale_name: str = "bench") -> None:
+    """Command-line entry point: print the Fig. 4 reproduction tables."""
+    result = run(get_scale(scale_name))
+    print("Fig. 4 — linear vs proposed quadratic neurons")
+    print(result["report"])
+    print()
+    print(format_table(result["comparisons"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Plain-text reporting helpers shared by the experiment drivers and benchmarks."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_percentage", "relative_change"]
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None,
+                 float_format: str = "{:.3f}") -> str:
+    """Render a list of dictionaries as an aligned text table.
+
+    ``columns`` fixes the column order; by default the keys of the first row
+    are used.  Floats are formatted with ``float_format``; other values are
+    converted with ``str``.
+    """
+    if not rows:
+        return "(no rows)"
+    columns = columns or list(rows[0].keys())
+
+    def render(value) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [max(len(column), *(len(line[i]) for line in rendered))
+              for i, column in enumerate(columns)]
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join("  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+                     for line in rendered)
+    return "\n".join([header, separator, body])
+
+
+def relative_change(new_value: float, reference_value: float) -> float:
+    """Relative change ``(new - reference) / reference`` (negative = reduction)."""
+    if reference_value == 0:
+        return 0.0
+    return (new_value - reference_value) / reference_value
+
+
+def format_percentage(fraction: float) -> str:
+    """Render a fraction as a signed percentage string (``-0.293`` → ``"-29.3%"``)."""
+    return f"{fraction * 100:+.1f}%"

@@ -1,0 +1,115 @@
+"""BLEU score with the evaluation settings used in Table II.
+
+Table II reports BLEU for four configurations: 13a-style tokenization vs
+"international" tokenization, each cased and uncased.  This module implements
+corpus-level BLEU (n-grams up to 4, brevity penalty, optional add-one
+smoothing for the higher orders) plus the two tokenizers, all from scratch.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+
+__all__ = ["tokenize_13a", "tokenize_international", "corpus_bleu", "bleu_score",
+           "EVALUATION_SETTINGS"]
+
+#: The four evaluation settings of Table II: (tokenization, cased).
+EVALUATION_SETTINGS = [
+    ("13a", True),
+    ("13a", False),
+    ("international", True),
+    ("international", False),
+]
+
+_13A_PUNCT = re.compile(r"([\.\,\!\?\;\:\(\)\"])")
+_13A_SPACE = re.compile(r"\s+")
+_INTL_SPLIT = re.compile(r"[^\w]+", flags=re.UNICODE)
+
+
+def tokenize_13a(text: str) -> list[str]:
+    """Simplified mteval-v13a tokenization: split punctuation into separate tokens."""
+    text = _13A_PUNCT.sub(r" \1 ", text)
+    text = _13A_SPACE.sub(" ", text).strip()
+    return text.split(" ") if text else []
+
+
+def tokenize_international(text: str) -> list[str]:
+    """International tokenization: split on every non-word character."""
+    tokens = [token for token in _INTL_SPLIT.split(text) if token]
+    return tokens
+
+
+_TOKENIZERS = {
+    "13a": tokenize_13a,
+    "international": tokenize_international,
+}
+
+
+def _ngram_counts(tokens: list[str], order: int) -> Counter:
+    return Counter(tuple(tokens[i:i + order]) for i in range(len(tokens) - order + 1))
+
+
+def corpus_bleu(hypotheses: list[list[str]], references: list[list[str]], max_order: int = 4,
+                smooth: bool = True) -> float:
+    """Corpus-level BLEU over pre-tokenized hypotheses and single references.
+
+    Returns a value in ``[0, 100]``.
+    """
+    if len(hypotheses) != len(references):
+        raise ValueError(f"got {len(hypotheses)} hypotheses but {len(references)} references")
+    if not hypotheses:
+        return 0.0
+
+    matches = [0] * max_order
+    possible = [0] * max_order
+    hypothesis_length = 0
+    reference_length = 0
+
+    for hypothesis, reference in zip(hypotheses, references):
+        hypothesis_length += len(hypothesis)
+        reference_length += len(reference)
+        for order in range(1, max_order + 1):
+            hyp_ngrams = _ngram_counts(hypothesis, order)
+            ref_ngrams = _ngram_counts(reference, order)
+            overlap = sum((hyp_ngrams & ref_ngrams).values())
+            matches[order - 1] += overlap
+            possible[order - 1] += max(len(hypothesis) - order + 1, 0)
+
+    precisions = []
+    for order in range(max_order):
+        if possible[order] == 0:
+            # No n-grams of this order exist (hypotheses shorter than the
+            # order); exclude it from the geometric mean rather than zeroing
+            # the whole score, matching the common mteval behaviour.
+            continue
+        if matches[order] == 0 and smooth and order > 0:
+            # Add-one style (Lin & Och) smoothing for empty higher-order matches.
+            precisions.append(1.0 / (2.0 * possible[order]))
+        else:
+            precisions.append(matches[order] / possible[order])
+
+    if not precisions or min(precisions) <= 0.0:
+        return 0.0
+
+    log_precision = sum(math.log(p) for p in precisions) / len(precisions)
+    if hypothesis_length == 0:
+        return 0.0
+    brevity_penalty = 1.0 if hypothesis_length > reference_length else \
+        math.exp(1.0 - reference_length / hypothesis_length)
+    return 100.0 * brevity_penalty * math.exp(log_precision)
+
+
+def bleu_score(hypotheses: list[str], references: list[str], tokenization: str = "13a",
+               cased: bool = True, max_order: int = 4) -> float:
+    """BLEU between surface strings under one of the Table II evaluation settings."""
+    if tokenization not in _TOKENIZERS:
+        raise KeyError(f"unknown tokenization '{tokenization}'; options: {sorted(_TOKENIZERS)}")
+    tokenizer = _TOKENIZERS[tokenization]
+    if not cased:
+        hypotheses = [text.lower() for text in hypotheses]
+        references = [text.lower() for text in references]
+    hypothesis_tokens = [tokenizer(text) for text in hypotheses]
+    reference_tokens = [tokenizer(text) for text in references]
+    return corpus_bleu(hypothesis_tokens, reference_tokens, max_order=max_order)

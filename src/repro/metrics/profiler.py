@@ -1,0 +1,227 @@
+"""Whole-model parameter and MAC profiler.
+
+The Fig. 4 / Fig. 5 sweeps plot accuracy against the number of parameters and
+the number of multiply-accumulate operations (MACs, reported by the paper as
+"FLOPs/MMacs").  This profiler runs a single forward pass, records every
+neuron layer's output shape through forward hooks, and computes MACs from the
+analytic per-neuron costs of Table I so the counts are exact and consistent
+with :mod:`repro.quadratic.complexity`.
+
+As in the paper, only the neuron layers (convolutions and dense projections)
+are counted; normalization, activation, pooling and embedding costs are
+ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Linear
+from ..nn.module import Module
+from ..quadratic.baselines import (
+    FactorizedQuadraticConv2d,
+    FactorizedQuadraticLinear,
+    GeneralQuadraticConv2d,
+    GeneralQuadraticLinear,
+    Quad1Conv2d,
+    Quad1Linear,
+    Quad2Conv2d,
+    Quad2Linear,
+    QuadraticResidualConv2d,
+    QuadraticResidualLinear,
+)
+from ..quadratic.complexity import neuron_complexity, proposed_mac_count
+from ..quadratic.efficient import EfficientQuadraticConv2d, EfficientQuadraticLinear
+from ..quadratic.kervolution import KervolutionConv2d, KervolutionLinear
+from ..tensor import Tensor, no_grad
+
+__all__ = ["LayerProfile", "ModelProfile", "profile_model"]
+
+
+@dataclass
+class LayerProfile:
+    """Cost record of a single neuron layer."""
+
+    name: str
+    layer_type: str
+    parameters: int
+    macs: int
+    output_shape: tuple
+
+
+@dataclass
+class ModelProfile:
+    """Aggregated cost of a model for one input geometry."""
+
+    layers: list[LayerProfile] = field(default_factory=list)
+    total_parameters: int = 0
+    total_macs: int = 0
+
+    @property
+    def parameters_millions(self) -> float:
+        return self.total_parameters / 1e6
+
+    @property
+    def macs_millions(self) -> float:
+        return self.total_macs / 1e6
+
+    def as_rows(self) -> list[dict]:
+        return [{
+            "name": layer.name,
+            "type": layer.layer_type,
+            "parameters": layer.parameters,
+            "macs": layer.macs,
+            "output_shape": layer.output_shape,
+        } for layer in self.layers]
+
+    def summary(self) -> str:
+        return (f"{self.total_parameters:,} parameters "
+                f"({self.parameters_millions:.3f} M), "
+                f"{self.total_macs:,} MACs ({self.macs_millions:.3f} MMac)")
+
+
+def _spatial_positions(output: Tensor) -> int:
+    shape = output.shape
+    if len(shape) == 4:
+        return int(shape[2] * shape[3])
+    if len(shape) == 3:
+        return int(shape[1])
+    return 1
+
+
+def _macs_linear_like(module, output: Tensor, fan_in: int, outputs: int, per_output: int) -> int:
+    return _spatial_positions(output) * outputs * per_output
+
+
+def _macs_conv2d(module: Conv2d, output: Tensor) -> int:
+    fan_in = module.in_channels * module.kernel_size ** 2
+    return _spatial_positions(output) * module.out_channels * fan_in
+
+
+def _macs_dense_linear(module: Linear, output: Tensor) -> int:
+    return _spatial_positions(output) * module.out_features * module.in_features
+
+
+def _macs_proposed_conv(module: EfficientQuadraticConv2d, output: Tensor) -> int:
+    per_filter = proposed_mac_count(module.fan_in, module.rank)
+    return _spatial_positions(output) * module.num_filters * per_filter
+
+
+def _macs_proposed_dense(module: EfficientQuadraticLinear, output: Tensor) -> int:
+    per_neuron = proposed_mac_count(module.in_features, module.rank)
+    return _spatial_positions(output) * module.num_neurons * per_neuron
+
+
+def _macs_baseline_conv(neuron_type: str):
+    def compute(module, output: Tensor) -> int:
+        fan_in = module.in_channels * module.kernel_size ** 2
+        rank = getattr(module, "rank", 1)
+        cost = neuron_complexity(neuron_type, fan_in, rank)
+        return _spatial_positions(output) * module.out_channels * cost.macs
+    return compute
+
+
+def _macs_baseline_dense(neuron_type: str):
+    def compute(module, output: Tensor) -> int:
+        rank = getattr(module, "rank", 1)
+        cost = neuron_complexity(neuron_type, module.in_features, rank)
+        return _spatial_positions(output) * module.out_features * cost.macs
+    return compute
+
+
+def _macs_kervolution_conv(module: KervolutionConv2d, output: Tensor) -> int:
+    fan_in = module.in_channels * module.kernel_size ** 2
+    return _spatial_positions(output) * module.out_channels * fan_in
+
+
+def _macs_kervolution_dense(module: KervolutionLinear, output: Tensor) -> int:
+    return _spatial_positions(output) * module.out_features * module.in_features
+
+
+_MAC_RULES = [
+    (EfficientQuadraticConv2d, _macs_proposed_conv),
+    (EfficientQuadraticLinear, _macs_proposed_dense),
+    (FactorizedQuadraticConv2d, _macs_baseline_conv("factorized")),
+    (FactorizedQuadraticLinear, _macs_baseline_dense("factorized")),
+    (GeneralQuadraticConv2d, _macs_baseline_conv("general")),
+    (GeneralQuadraticLinear, _macs_baseline_dense("general")),
+    (Quad1Conv2d, _macs_baseline_conv("quad1")),
+    (Quad1Linear, _macs_baseline_dense("quad1")),
+    (Quad2Conv2d, _macs_baseline_conv("quad2")),
+    (Quad2Linear, _macs_baseline_dense("quad2")),
+    (QuadraticResidualConv2d, _macs_baseline_conv("quad_residual")),
+    (QuadraticResidualLinear, _macs_baseline_dense("quad_residual")),
+    (KervolutionConv2d, _macs_kervolution_conv),
+    (KervolutionLinear, _macs_kervolution_dense),
+    (Conv2d, _macs_conv2d),
+    (Linear, _macs_dense_linear),
+]
+
+
+def _find_rule(module: Module):
+    for layer_class, rule in _MAC_RULES:
+        if type(module) is layer_class:
+            return rule
+    return None
+
+
+def profile_model(model: Module, *example_inputs, forward_fn=None) -> ModelProfile:
+    """Profile ``model`` by running one forward pass on ``example_inputs``.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`repro.nn.Module`.
+    example_inputs:
+        Arguments passed to the model (a single batch; batch size 1 is enough).
+    forward_fn:
+        Optional callable ``forward_fn(model, *example_inputs)`` when the model
+        is not invoked as ``model(*example_inputs)``.
+
+    Returns
+    -------
+    :class:`ModelProfile` with per-layer and total parameter / MAC counts.
+    """
+    records: list[tuple[str, Module, tuple]] = []
+    hooked: list[Module] = []
+
+    for name, module in model.named_modules():
+        if _find_rule(module) is None:
+            continue
+
+        def hook(mod, inputs, output, _name=name):
+            records.append((_name, mod, output.shape))
+
+        module.register_forward_hook(hook)
+        hooked.append(module)
+
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            if forward_fn is not None:
+                forward_fn(model, *example_inputs)
+            else:
+                model(*example_inputs)
+    finally:
+        for module in hooked:
+            module.clear_forward_hooks()
+        model.train(was_training)
+
+    profile = ModelProfile()
+    for name, module, output_shape in records:
+        rule = _find_rule(module)
+        dummy_output = Tensor(np.empty(output_shape, dtype=np.float32))
+        macs = int(rule(module, dummy_output))
+        layer = LayerProfile(
+            name=name,
+            layer_type=type(module).__name__,
+            parameters=module.num_parameters(),
+            macs=macs,
+            output_shape=tuple(output_shape))
+        profile.layers.append(layer)
+        profile.total_macs += macs
+    profile.total_parameters = model.num_parameters()
+    return profile

@@ -1,0 +1,46 @@
+"""Model zoo: ResNets, plain CNNs, MLPs and Transformers with switchable neurons."""
+
+from .resnet import (
+    BasicBlock,
+    CifarResNet,
+    ResNet18,
+    resnet20,
+    resnet32,
+    resnet44,
+    resnet56,
+    resnet110,
+    CIFAR_RESNET_DEPTHS,
+)
+from .cnn import SimpleCNN, MLPClassifier
+from .transformer import (
+    Transformer,
+    MultiHeadAttention,
+    FeedForward,
+    EncoderLayer,
+    DecoderLayer,
+    sinusoidal_positions,
+    make_padding_mask,
+    make_causal_mask,
+)
+
+__all__ = [
+    "BasicBlock",
+    "CifarResNet",
+    "ResNet18",
+    "resnet20",
+    "resnet32",
+    "resnet44",
+    "resnet56",
+    "resnet110",
+    "CIFAR_RESNET_DEPTHS",
+    "SimpleCNN",
+    "MLPClassifier",
+    "Transformer",
+    "MultiHeadAttention",
+    "FeedForward",
+    "EncoderLayer",
+    "DecoderLayer",
+    "sinusoidal_positions",
+    "make_padding_mask",
+    "make_causal_mask",
+]

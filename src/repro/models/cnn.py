@@ -1,0 +1,76 @@
+"""Small plain CNNs and MLPs with switchable neuron types.
+
+These models are used by the unit/integration tests, the quickstart example
+and the ablation benchmarks, where a full ResNet would be unnecessarily heavy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..quadratic.factory import make_conv, make_dense
+from ..tensor import Tensor
+
+__all__ = ["SimpleCNN", "MLPClassifier"]
+
+
+class SimpleCNN(nn.Module):
+    """Three convolutional stages followed by a linear classifier.
+
+    Every convolution is built through the neuron factory, so the model can be
+    instantiated with linear neurons, the proposed quadratic neuron or any
+    baseline for quick comparisons.
+    """
+
+    def __init__(self, num_classes: int = 10, neuron_type: str = "linear", rank: int = 3,
+                 in_channels: int = 3, base_width: int = 8, image_size: int = 16,
+                 neuron_kwargs: dict | None = None, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        neuron_kwargs = neuron_kwargs or {}
+        widths = [base_width, base_width * 2, base_width * 4]
+        self.neuron_type = neuron_type
+
+        layers = []
+        previous = in_channels
+        for width in widths:
+            layers.append(make_conv(neuron_type, previous, width, 3, stride=1, padding=1,
+                                    rank=rank, bias=False, rng=rng, **neuron_kwargs))
+            layers.append(nn.BatchNorm2d(width))
+            layers.append(nn.ReLU())
+            layers.append(nn.MaxPool2d(2))
+            previous = width
+        self.features = nn.Sequential(*layers)
+        self.pool = nn.GlobalAvgPool2d()
+        self.classifier = nn.Linear(widths[-1], num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.pool(self.features(x)))
+
+
+class MLPClassifier(nn.Module):
+    """Multi-layer perceptron with switchable neuron type in the hidden layers."""
+
+    def __init__(self, in_features: int, num_classes: int, hidden_sizes: tuple[int, ...] = (64,),
+                 neuron_type: str = "linear", rank: int = 3,
+                 neuron_kwargs: dict | None = None, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        neuron_kwargs = neuron_kwargs or {}
+        self.neuron_type = neuron_type
+
+        layers = []
+        previous = in_features
+        for hidden in hidden_sizes:
+            layers.append(make_dense(neuron_type, previous, hidden, rank=rank, rng=rng,
+                                     **neuron_kwargs))
+            layers.append(nn.ReLU())
+            previous = hidden
+        layers.append(nn.Linear(previous, num_classes, rng=rng))
+        self.network = nn.Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.network(x)

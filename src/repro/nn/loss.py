@@ -1,0 +1,43 @@
+"""Loss functions used by the classification and translation experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor import functional as F
+from .module import Module
+
+__all__ = ["CrossEntropyLoss", "LabelSmoothingLoss", "MSELoss"]
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross-entropy over integer class targets.
+
+    ``ignore_index`` masks padding positions in sequence-to-sequence training.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0, ignore_index: int | None = None):
+        super().__init__()
+        self.label_smoothing = label_smoothing
+        self.ignore_index = ignore_index
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy_with_logits(
+            logits, targets,
+            label_smoothing=self.label_smoothing,
+            ignore_index=self.ignore_index)
+
+
+class LabelSmoothingLoss(CrossEntropyLoss):
+    """Cross-entropy with the label smoothing used for Transformer training."""
+
+    def __init__(self, smoothing: float = 0.1, ignore_index: int | None = None):
+        super().__init__(label_smoothing=smoothing, ignore_index=ignore_index)
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return F.mse_loss(prediction, target)

@@ -1,0 +1,222 @@
+"""Module/parameter system: the layer abstraction all models are built on.
+
+The design mirrors ``torch.nn``: a :class:`Module` owns :class:`Parameter`
+leaves and child modules, exposes recursive iteration over both, and carries a
+``training`` flag toggled by :meth:`Module.train` / :meth:`Module.eval`.
+State can be exported/imported as plain NumPy dictionaries, which the training
+harness uses for checkpointing best models.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList", "Identity"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as a trainable leaf of a module.
+
+    The optional ``tag`` labels the parameter's role (for example
+    ``"quadratic"`` for the eigenvalue vector Λ of the proposed neuron), which
+    lets optimizers apply the per-group learning rates used in the paper and
+    lets the analysis tools separate linear from quadratic parameters.
+    """
+
+    __slots__ = ("tag",)
+
+    def __init__(self, data, tag: str = "linear"):
+        super().__init__(data, requires_grad=True)
+        self.tag = tag
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self):
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._forward_hooks: list = []
+        self.training = True
+
+    # -- attribute registration ---------------------------------------------
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state (e.g. BatchNorm running statistics)."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # -- iteration ------------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> list["Module"]:
+        return [module for _, module in self.named_modules()]
+
+    def children(self) -> list["Module"]:
+        return list(self._modules.values())
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, buffer in self._buffers.items():
+            yield (f"{prefix}{name}", buffer)
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    # -- training mode ---------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # -- gradients and state ----------------------------------------------------
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return int(sum(parameter.size for parameter in self.parameters()))
+
+    def state_dict(self) -> dict:
+        state = {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+        state.update({f"buffer::{name}": buffer.copy() for name, buffer in self.named_buffers()})
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        parameters = dict(self.named_parameters())
+        buffers = list(self._iter_buffer_owners())
+        for name, value in state.items():
+            if name.startswith("buffer::"):
+                buffer_name = name[len("buffer::"):]
+                for owner_prefix, owner in buffers:
+                    local = buffer_name[len(owner_prefix):] if buffer_name.startswith(owner_prefix) else None
+                    if local is not None and local in owner._buffers:
+                        owner._buffers[local][...] = value
+                        break
+            elif name in parameters:
+                parameters[name].data[...] = value
+            else:
+                raise KeyError(f"unexpected key in state dict: {name}")
+
+    def _iter_buffer_owners(self, prefix: str = ""):
+        if self._buffers:
+            yield (prefix, self)
+        for child_name, child in self._modules.items():
+            yield from child._iter_buffer_owners(prefix=f"{prefix}{child_name}.")
+
+    # -- forward ----------------------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def register_forward_hook(self, hook) -> None:
+        """Register ``hook(module, inputs, output)``, called after every forward.
+
+        Used by the profiler (to record activation shapes) and by the analysis
+        tools (to capture intermediate responses for Fig. 8).
+        """
+        self._forward_hooks.append(hook)
+
+    def clear_forward_hooks(self) -> None:
+        self._forward_hooks = []
+
+    def __call__(self, *args, **kwargs):
+        output = self.forward(*args, **kwargs)
+        for hook in self._forward_hooks:
+            hook(self, args, output)
+        return output
+
+    def __repr__(self) -> str:
+        child_lines = [f"  ({name}): {module.__class__.__name__}"
+                       for name, module in self._modules.items()]
+        header = self.__class__.__name__
+        if not child_lines:
+            return f"{header}()"
+        return header + "(\n" + "\n".join(child_lines) + "\n)"
+
+
+class Identity(Module):
+    """Pass-through module (useful as a neutral shortcut in residual blocks)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Sequential(Module):
+    """Run child modules in order, feeding each output into the next module."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+
+class ModuleList(Module):
+    """A list of modules whose parameters are all registered."""
+
+    def __init__(self, modules: list[Module] | None = None):
+        super().__init__()
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]

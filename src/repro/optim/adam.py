@@ -1,0 +1,43 @@
+"""Adam optimizer, used for the Transformer translation experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optimizer import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moments and optional weight decay."""
+
+    def __init__(self, parameters, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.98),
+                 eps: float = 1e-9, weight_decay: float = 0.0):
+        defaults = {"lr": lr, "betas": betas, "eps": eps, "weight_decay": weight_decay}
+        super().__init__(parameters, defaults)
+        self._state: dict[int, dict] = {}
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            beta1, beta2 = group["betas"]
+            eps = group["eps"]
+            weight_decay = group["weight_decay"]
+            for parameter in group["params"]:
+                if parameter.grad is None:
+                    continue
+                grad = parameter.grad
+                if weight_decay:
+                    grad = grad + weight_decay * parameter.data
+                state = self._state.setdefault(id(parameter), {
+                    "step": 0,
+                    "m": np.zeros_like(parameter.data),
+                    "v": np.zeros_like(parameter.data),
+                })
+                state["step"] += 1
+                state["m"] = beta1 * state["m"] + (1 - beta1) * grad
+                state["v"] = beta2 * state["v"] + (1 - beta2) * grad * grad
+                m_hat = state["m"] / (1 - beta1 ** state["step"])
+                v_hat = state["v"] / (1 - beta2 ** state["step"])
+                parameter.data -= lr * m_hat / (np.sqrt(v_hat) + eps)

@@ -1,0 +1,77 @@
+"""Learning-rate schedules.
+
+:class:`MultiStepLR` reproduces the CNN recipe (decay by 0.1 at fixed epochs);
+:class:`NoamLR` reproduces the Transformer warmup schedule from
+"Attention Is All You Need", which the paper follows for the WMT14 experiments.
+"""
+
+from __future__ import annotations
+
+from .optimizer import Optimizer
+
+__all__ = ["LRScheduler", "MultiStepLR", "NoamLR", "CosineAnnealingLR"]
+
+
+class LRScheduler:
+    """Base class: scales every parameter group's initial LR by a factor."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lrs = [group["lr"] for group in optimizer.param_groups]
+        self.last_step = 0
+
+    def get_factor(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> None:
+        self.last_step += 1
+        factor = self.get_factor(self.last_step)
+        for group, base_lr in zip(self.optimizer.param_groups, self.base_lrs):
+            group["lr"] = base_lr * factor
+
+    def current_lrs(self) -> list[float]:
+        return [group["lr"] for group in self.optimizer.param_groups]
+
+
+class MultiStepLR(LRScheduler):
+    """Multiply the LR by ``gamma`` each time a milestone epoch is passed."""
+
+    def __init__(self, optimizer: Optimizer, milestones: list[int], gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def get_factor(self, step: int) -> float:
+        passed = sum(1 for milestone in self.milestones if step >= milestone)
+        return self.gamma ** passed
+
+
+class NoamLR(LRScheduler):
+    """Inverse-square-root schedule with linear warmup (Transformer training)."""
+
+    def __init__(self, optimizer: Optimizer, model_dim: int, warmup_steps: int = 4000,
+                 scale: float = 1.0):
+        super().__init__(optimizer)
+        self.model_dim = model_dim
+        self.warmup_steps = warmup_steps
+        self.scale = scale
+
+    def get_factor(self, step: int) -> float:
+        step = max(step, 1)
+        return self.scale * (self.model_dim ** -0.5) * min(step ** -0.5,
+                                                           step * self.warmup_steps ** -1.5)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``min_factor`` of it over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_factor: float = 0.0):
+        super().__init__(optimizer)
+        self.total_steps = max(total_steps, 1)
+        self.min_factor = min_factor
+
+    def get_factor(self, step: int) -> float:
+        import math
+        progress = min(step / self.total_steps, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_factor + (1.0 - self.min_factor) * cosine

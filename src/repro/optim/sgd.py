@@ -1,0 +1,45 @@
+"""Stochastic gradient descent with momentum and weight decay.
+
+This is the optimizer used for all CNN experiments in the paper (SGD, 180
+epochs, initial learning rate 0.1 decayed at epochs 90/135).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optimizer import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum and decoupled L2 weight decay."""
+
+    def __init__(self, parameters, lr: float = 0.1, momentum: float = 0.9,
+                 weight_decay: float = 0.0, nesterov: bool = False):
+        defaults = {"lr": lr, "momentum": momentum, "weight_decay": weight_decay,
+                    "nesterov": nesterov}
+        super().__init__(parameters, defaults)
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            momentum = group["momentum"]
+            weight_decay = group["weight_decay"]
+            nesterov = group["nesterov"]
+            for parameter in group["params"]:
+                if parameter.grad is None:
+                    continue
+                grad = parameter.grad
+                if weight_decay:
+                    grad = grad + weight_decay * parameter.data
+                if momentum:
+                    velocity = self._velocity.get(id(parameter))
+                    if velocity is None:
+                        velocity = np.zeros_like(parameter.data)
+                    velocity = momentum * velocity + grad
+                    self._velocity[id(parameter)] = velocity
+                    grad = grad + momentum * velocity if nesterov else velocity
+                parameter.data -= lr * grad

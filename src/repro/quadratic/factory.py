@@ -1,0 +1,147 @@
+"""Neuron registry: build convolutional / dense layers of any neuron type by name.
+
+The model zoo (:mod:`repro.models`) is written against this factory so that a
+single ``neuron_type`` string switches an entire ResNet or Transformer between
+linear neurons, the proposed quadratic neuron, and every prior-work baseline.
+This mirrors how the paper swaps neuron structures while keeping the
+architecture fixed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Linear
+from ..nn.module import Module
+from .baselines import (
+    FactorizedQuadraticConv2d,
+    FactorizedQuadraticLinear,
+    GeneralQuadraticConv2d,
+    GeneralQuadraticLinear,
+    PureQuadraticConv2d,
+    Quad1Conv2d,
+    Quad1Linear,
+    Quad2Conv2d,
+    Quad2Linear,
+    QuadraticResidualConv2d,
+    QuadraticResidualLinear,
+)
+from .efficient import EfficientQuadraticConv2d, EfficientQuadraticLinear
+from .kervolution import KervolutionConv2d, KervolutionLinear
+
+__all__ = ["CONV_NEURON_TYPES", "DENSE_NEURON_TYPES", "make_conv", "make_dense"]
+
+
+def make_conv(neuron_type: str, in_channels: int, out_channels: int, kernel_size: int,
+              stride: int = 1, padding: int = 0, rank: int = 9, bias: bool = True,
+              rng: np.random.Generator | None = None, **kwargs) -> Module:
+    """Build a convolutional layer of ``neuron_type`` with the requested geometry.
+
+    Regardless of the neuron type, the returned layer maps ``in_channels`` to
+    exactly ``out_channels`` channels so it can be dropped into any CNN.  The
+    ``rank`` argument is used by the proposed and factorized neurons and
+    ignored by the rest.
+    """
+    if neuron_type not in CONV_NEURON_TYPES:
+        raise KeyError(f"unknown conv neuron type '{neuron_type}'; "
+                       f"known types: {sorted(CONV_NEURON_TYPES)}")
+    return CONV_NEURON_TYPES[neuron_type](
+        in_channels=in_channels, out_channels=out_channels, kernel_size=kernel_size,
+        stride=stride, padding=padding, rank=rank, bias=bias, rng=rng, **kwargs)
+
+
+def make_dense(neuron_type: str, in_features: int, out_features: int, rank: int = 9,
+               bias: bool = True, rng: np.random.Generator | None = None, **kwargs) -> Module:
+    """Build a dense layer of ``neuron_type`` mapping ``in_features`` to ``out_features``."""
+    if neuron_type not in DENSE_NEURON_TYPES:
+        raise KeyError(f"unknown dense neuron type '{neuron_type}'; "
+                       f"known types: {sorted(DENSE_NEURON_TYPES)}")
+    return DENSE_NEURON_TYPES[neuron_type](
+        in_features=in_features, out_features=out_features, rank=rank, bias=bias, rng=rng,
+        **kwargs)
+
+
+# -- conv builders ------------------------------------------------------------
+
+def _conv_linear(in_channels, out_channels, kernel_size, stride, padding, rank, bias, rng,
+                 **kwargs):
+    return Conv2d(in_channels, out_channels, kernel_size, stride=stride, padding=padding,
+                  bias=bias, rng=rng)
+
+
+def _conv_proposed(in_channels, out_channels, kernel_size, stride, padding, rank, bias, rng,
+                   **kwargs):
+    return EfficientQuadraticConv2d.for_output_channels(
+        in_channels, out_channels, kernel_size, rank=rank, stride=stride, padding=padding,
+        bias=bias, rng=rng, **kwargs)
+
+
+def _conv_scalar_output(layer_cls):
+    def build(in_channels, out_channels, kernel_size, stride, padding, rank, bias, rng,
+              **kwargs):
+        return layer_cls(in_channels, out_channels, kernel_size, stride=stride,
+                         padding=padding, bias=bias, rng=rng, **kwargs)
+    return build
+
+
+def _conv_factorized(in_channels, out_channels, kernel_size, stride, padding, rank, bias, rng,
+                     **kwargs):
+    return FactorizedQuadraticConv2d(in_channels, out_channels, kernel_size, stride=stride,
+                                     padding=padding, rank=rank, bias=bias, rng=rng, **kwargs)
+
+
+def _conv_kervolution(in_channels, out_channels, kernel_size, stride, padding, rank, bias, rng,
+                      **kwargs):
+    return KervolutionConv2d(in_channels, out_channels, kernel_size, stride=stride,
+                             padding=padding, bias=bias, rng=rng, **kwargs)
+
+
+CONV_NEURON_TYPES = {
+    "linear": _conv_linear,
+    "proposed": _conv_proposed,
+    "general": _conv_scalar_output(GeneralQuadraticConv2d),
+    "pure": _conv_scalar_output(PureQuadraticConv2d),
+    "quad1": _conv_scalar_output(Quad1Conv2d),
+    "quad2": _conv_scalar_output(Quad2Conv2d),
+    "quad_residual": _conv_scalar_output(QuadraticResidualConv2d),
+    "factorized": _conv_factorized,
+    "kervolution": _conv_kervolution,
+}
+
+
+# -- dense builders ------------------------------------------------------------
+
+def _dense_linear(in_features, out_features, rank, bias, rng, **kwargs):
+    return Linear(in_features, out_features, bias=bias, rng=rng)
+
+
+def _dense_proposed(in_features, out_features, rank, bias, rng, **kwargs):
+    return EfficientQuadraticLinear.for_output_features(
+        in_features, out_features, rank=rank, bias=bias, rng=rng, **kwargs)
+
+
+def _dense_simple(layer_cls):
+    def build(in_features, out_features, rank, bias, rng, **kwargs):
+        return layer_cls(in_features, out_features, bias=bias, rng=rng, **kwargs)
+    return build
+
+
+def _dense_factorized(in_features, out_features, rank, bias, rng, **kwargs):
+    return FactorizedQuadraticLinear(in_features, out_features, rank=rank, bias=bias, rng=rng,
+                                     **kwargs)
+
+
+def _dense_kervolution(in_features, out_features, rank, bias, rng, **kwargs):
+    return KervolutionLinear(in_features, out_features, bias=bias, rng=rng, **kwargs)
+
+
+DENSE_NEURON_TYPES = {
+    "linear": _dense_linear,
+    "proposed": _dense_proposed,
+    "general": _dense_simple(GeneralQuadraticLinear),
+    "quad1": _dense_simple(Quad1Linear),
+    "quad2": _dense_simple(Quad2Linear),
+    "quad_residual": _dense_simple(QuadraticResidualLinear),
+    "factorized": _dense_factorized,
+    "kervolution": _dense_kervolution,
+}

@@ -1,0 +1,43 @@
+"""Autograd tensor engine: the NumPy-based substrate for all models.
+
+Public surface:
+
+* :class:`Tensor` — reverse-mode autodiff array.
+* :mod:`repro.tensor.functional` — softmax family, activations, losses.
+* :mod:`repro.tensor.conv_utils` — conv2d / unfold / pooling primitives.
+* :mod:`repro.tensor.grad_check` — finite-difference gradient verification.
+"""
+
+from .tensor import Tensor, no_grad, is_grad_enabled, unbroadcast, DEFAULT_DTYPE
+from . import functional
+from .conv_utils import (
+    conv2d,
+    unfold,
+    max_pool2d,
+    avg_pool2d,
+    global_avg_pool2d,
+    im2col,
+    col2im,
+    conv_output_size,
+)
+from .grad_check import check_gradients, numerical_gradient, max_relative_error
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+    "DEFAULT_DTYPE",
+    "functional",
+    "conv2d",
+    "unfold",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "im2col",
+    "col2im",
+    "conv_output_size",
+    "check_gradients",
+    "numerical_gradient",
+    "max_relative_error",
+]

@@ -1,0 +1,134 @@
+"""Differentiable functions composed from :class:`~repro.tensor.Tensor` primitives.
+
+These helpers cover numerically-stable softmax family operations, activations
+that are not simple methods of :class:`Tensor`, dropout, and utility encodings
+used by the loss functions and models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+from .tensor import Tensor, is_grad_enabled
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "gelu",
+    "silu",
+    "leaky_relu",
+    "dropout",
+    "one_hot",
+    "cross_entropy_with_logits",
+    "mse_loss",
+]
+
+
+def logsumexp(logits: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable ``log(sum(exp(x)))`` along ``axis``."""
+    shift = Tensor(logits.data.max(axis=axis, keepdims=True))
+    stable = (logits - shift).exp().sum(axis=axis, keepdims=True).log() + shift
+    if keepdims:
+        return stable
+    return stable.squeeze(axis if axis >= 0 else logits.ndim + axis)
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with max-subtraction for numerical stability."""
+    shift = Tensor(logits.data.max(axis=axis, keepdims=True))
+    exps = (logits - shift).exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis``."""
+    return logits - logsumexp(logits, axis=axis, keepdims=True)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit using the exact erf formulation.
+
+    The forward pass is ``x * Phi(x)`` where ``Phi`` is the standard normal
+    CDF; the handwritten backward closure applies the exact derivative
+    ``Phi(x) + x * phi(x)``.
+    """
+    cdf_values = 0.5 * (1.0 + special.erf(x.data / np.sqrt(2.0)))
+    value = x.data * cdf_values
+    out = x._make_child(value, (x,), "gelu")
+    if out.requires_grad:
+        pdf = np.exp(-0.5 * x.data ** 2) / np.sqrt(2.0 * np.pi)
+        local_grad = cdf_values + x.data * pdf
+
+        def _backward(grad):
+            if x.requires_grad:
+                x._accumulate(grad * local_grad)
+        out._backward = _backward
+    return out
+
+
+def silu(x: Tensor) -> Tensor:
+    """Sigmoid linear unit (swish)."""
+    return x * x.sigmoid()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky rectified linear unit."""
+    positive = x.relu()
+    negative = (-((-x).relu())) * negative_slope
+    return positive + negative
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout: at train time zero each element with probability ``p``."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float32) -> np.ndarray:
+    """Return a one-hot encoding of an integer label array."""
+    labels = np.asarray(labels, dtype=np.int64)
+    encoded = np.zeros(labels.shape + (num_classes,), dtype=dtype)
+    np.put_along_axis(encoded, labels[..., None], 1.0, axis=-1)
+    return encoded
+
+
+def cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,
+                              label_smoothing: float = 0.0,
+                              ignore_index: int | None = None) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer ``targets``.
+
+    ``logits`` has shape ``(..., num_classes)`` and ``targets`` the matching
+    leading shape.  ``label_smoothing`` follows the standard formulation used
+    for Transformer training.  Positions equal to ``ignore_index`` contribute
+    nothing to the loss (used to mask padding in sequence models).
+    """
+    num_classes = logits.shape[-1]
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = log_softmax(logits, axis=-1)
+
+    target_dist = one_hot(targets, num_classes, dtype=logits.dtype)
+    if label_smoothing > 0.0:
+        target_dist = target_dist * (1.0 - label_smoothing) + label_smoothing / num_classes
+
+    mask = np.ones(targets.shape, dtype=logits.dtype)
+    if ignore_index is not None:
+        mask = (targets != ignore_index).astype(logits.dtype)
+        target_dist = target_dist * mask[..., None]
+    denominator = float(mask.sum()) if mask.sum() > 0 else 1.0
+
+    per_position = -(log_probs * Tensor(target_dist)).sum(axis=-1)
+    return per_position.sum() * (1.0 / denominator)
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error between ``prediction`` and ``target``."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target.detach()
+    return (diff * diff).mean()

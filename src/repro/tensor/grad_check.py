@@ -1,0 +1,73 @@
+"""Numerical gradient checking for the autograd engine.
+
+Central finite differences are compared against the analytic gradients
+produced by :meth:`repro.tensor.Tensor.backward`.  The checker is used both in
+the test suite (to validate every primitive operation) and as a debugging tool
+for new layers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients", "max_relative_error"]
+
+
+def numerical_gradient(func: Callable[[], Tensor], tensor: Tensor,
+                       epsilon: float = 1e-5) -> np.ndarray:
+    """Estimate d(func())/d(tensor) with central finite differences.
+
+    ``func`` must be a zero-argument callable returning a scalar
+    :class:`Tensor` and must read ``tensor.data`` on every call.
+    """
+    grad = np.zeros_like(tensor.data, dtype=np.float64)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        loss_plus = float(func().data)
+        flat[index] = original - epsilon
+        loss_minus = float(func().data)
+        flat[index] = original
+        grad_flat[index] = (loss_plus - loss_minus) / (2.0 * epsilon)
+    return grad
+
+
+def max_relative_error(analytic: np.ndarray, numeric: np.ndarray) -> float:
+    """Maximum elementwise relative error between two gradient estimates."""
+    analytic = np.asarray(analytic, dtype=np.float64)
+    numeric = np.asarray(numeric, dtype=np.float64)
+    scale = np.maximum(np.abs(analytic) + np.abs(numeric), 1e-8)
+    return float(np.max(np.abs(analytic - numeric) / scale))
+
+
+def check_gradients(func: Callable[[], Tensor], parameters: Sequence[Tensor],
+                    epsilon: float = 1e-5, tolerance: float = 1e-4) -> dict:
+    """Verify analytic gradients of ``func`` with respect to ``parameters``.
+
+    Returns a report dictionary with per-parameter relative errors.  Raises
+    ``AssertionError`` if any relative error exceeds ``tolerance``.  Parameters
+    should hold ``float64`` data for the finite differences to be reliable.
+    """
+    for parameter in parameters:
+        parameter.zero_grad()
+    loss = func()
+    loss.backward()
+
+    report = {}
+    for index, parameter in enumerate(parameters):
+        if parameter.grad is None:
+            raise AssertionError(f"parameter {index} received no gradient")
+        numeric = numerical_gradient(func, parameter, epsilon=epsilon)
+        error = max_relative_error(parameter.grad, numeric)
+        report[index] = error
+        if error > tolerance:
+            raise AssertionError(
+                f"gradient check failed for parameter {index}: relative error {error:.3e} "
+                f"exceeds tolerance {tolerance:.1e}")
+    return report

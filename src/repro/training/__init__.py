@@ -1,0 +1,7 @@
+"""Training harnesses: classification trainer, seq2seq trainer, history records."""
+
+from .history import History
+from .trainer import Trainer
+from .seq2seq import Seq2SeqTrainer
+
+__all__ = ["History", "Trainer", "Seq2SeqTrainer"]

@@ -1,0 +1,59 @@
+"""Training history container shared by all trainers."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["History"]
+
+
+class History:
+    """Ordered record of per-epoch metrics.
+
+    Every entry is a plain dictionary (``{"epoch": 3, "train_loss": ...}``).
+    The container offers convenience accessors used by the experiment drivers
+    and the stability analysis.
+    """
+
+    def __init__(self):
+        self.records: list[dict] = []
+
+    def append(self, **metrics) -> dict:
+        record = dict(metrics)
+        record.setdefault("epoch", len(self.records) + 1)
+        self.records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> dict:
+        return self.records[index]
+
+    def column(self, key: str) -> list:
+        """All recorded values of ``key`` (missing entries are skipped)."""
+        return [record[key] for record in self.records if key in record]
+
+    def last(self, key: str, default=None):
+        values = self.column(key)
+        return values[-1] if values else default
+
+    def best(self, key: str, mode: str = "max"):
+        """Best value of ``key`` (ignoring NaN/inf); ``mode`` is ``max`` or ``min``."""
+        values = [value for value in self.column(key) if _is_finite(value)]
+        if not values:
+            return None
+        return max(values) if mode == "max" else min(values)
+
+    def to_list(self) -> list[dict]:
+        return [dict(record) for record in self.records]
+
+
+def _is_finite(value) -> bool:
+    try:
+        return math.isfinite(float(value))
+    except (TypeError, ValueError):
+        return False

@@ -1,0 +1,139 @@
+"""Training loop for image classifiers.
+
+The trainer reproduces the relevant aspects of the paper's recipe: SGD with a
+multi-step learning-rate schedule, a separate learning rate for the quadratic
+eigenvalue parameters (handled through optimizer parameter groups), optional
+gradient clipping, and divergence detection — the latter is what the Fig. 6
+training-stability study measures.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..data.dataloader import DataLoader
+from ..metrics.accuracy import accuracy
+from ..nn.module import Module
+from ..optim.lr_scheduler import LRScheduler
+from ..optim.optimizer import Optimizer
+from ..tensor import Tensor, no_grad
+from .history import History
+
+__all__ = ["Trainer"]
+
+
+class Trainer:
+    """Supervised training loop for classification models.
+
+    Parameters
+    ----------
+    model, optimizer, loss_fn:
+        The usual triple; ``loss_fn(logits, integer_targets)`` must return a
+        scalar :class:`Tensor`.
+    scheduler:
+        Optional :class:`repro.optim.LRScheduler`, stepped once per epoch.
+    grad_clip:
+        Optional global gradient-norm clip.
+    divergence_threshold:
+        A batch loss above this value (or any non-finite loss) marks the run
+        as diverged; training stops early and the history records the event.
+        This implements the "cross mark" divergence criterion of Fig. 6.
+    """
+
+    def __init__(self, model: Module, optimizer: Optimizer, loss_fn,
+                 scheduler: LRScheduler | None = None, grad_clip: float | None = None,
+                 divergence_threshold: float = 1e4):
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.scheduler = scheduler
+        self.grad_clip = grad_clip
+        self.divergence_threshold = divergence_threshold
+        self.history = History()
+        self.diverged = False
+        self.divergence_epoch: int | None = None
+
+    # -- single epoch -----------------------------------------------------------
+
+    def train_epoch(self, loader: DataLoader) -> dict:
+        """Run one epoch of optimization; returns mean loss and accuracy."""
+        self.model.train()
+        total_loss = 0.0
+        total_correct = 0.0
+        total_examples = 0
+        for batch_inputs, batch_targets in loader:
+            self.optimizer.zero_grad()
+            logits = self.model(Tensor(batch_inputs))
+            loss = self.loss_fn(logits, batch_targets)
+            loss_value = float(loss.data)
+            if not math.isfinite(loss_value) or loss_value > self.divergence_threshold:
+                self.diverged = True
+                total_loss += loss_value if math.isfinite(loss_value) else float("inf")
+                total_examples += len(batch_targets)
+                break
+            loss.backward()
+            if self.grad_clip is not None:
+                self.optimizer.clip_grad_norm(self.grad_clip)
+            self.optimizer.step()
+            batch_size = len(batch_targets)
+            total_loss += loss_value * batch_size
+            total_correct += accuracy(logits, batch_targets) * batch_size
+            total_examples += batch_size
+        mean_loss = total_loss / max(total_examples, 1)
+        mean_accuracy = total_correct / max(total_examples, 1)
+        return {"loss": mean_loss, "accuracy": mean_accuracy, "diverged": self.diverged}
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate(self, inputs: np.ndarray, targets: np.ndarray, batch_size: int = 64) -> dict:
+        """Loss and accuracy of the current model on held-out data."""
+        self.model.eval()
+        total_loss = 0.0
+        total_correct = 0.0
+        total_examples = 0
+        with no_grad():
+            for start in range(0, len(inputs), batch_size):
+                batch_inputs = inputs[start:start + batch_size]
+                batch_targets = targets[start:start + batch_size]
+                logits = self.model(Tensor(batch_inputs))
+                loss = self.loss_fn(logits, batch_targets)
+                size = len(batch_targets)
+                total_loss += float(loss.data) * size
+                total_correct += accuracy(logits, batch_targets) * size
+                total_examples += size
+        return {"loss": total_loss / max(total_examples, 1),
+                "accuracy": total_correct / max(total_examples, 1)}
+
+    # -- full loop -----------------------------------------------------------------
+
+    def fit(self, train_loader: DataLoader, epochs: int,
+            eval_inputs: np.ndarray | None = None, eval_targets: np.ndarray | None = None,
+            stop_on_divergence: bool = True, verbose: bool = False) -> History:
+        """Train for ``epochs`` epochs, recording train/eval metrics per epoch."""
+        for epoch in range(1, epochs + 1):
+            train_metrics = self.train_epoch(train_loader)
+            record = {
+                "epoch": epoch,
+                "train_loss": train_metrics["loss"],
+                "train_accuracy": train_metrics["accuracy"],
+                "diverged": self.diverged,
+                "lr": self.optimizer.param_groups[0]["lr"],
+            }
+            if self.diverged and self.divergence_epoch is None:
+                self.divergence_epoch = epoch
+            if eval_inputs is not None and eval_targets is not None and not self.diverged:
+                eval_metrics = self.evaluate(eval_inputs, eval_targets)
+                record["eval_loss"] = eval_metrics["loss"]
+                record["eval_accuracy"] = eval_metrics["accuracy"]
+            self.history.append(**record)
+            if verbose:
+                print(f"epoch {epoch:3d}  " +
+                      "  ".join(f"{key}={value:.4f}" for key, value in record.items()
+                                if isinstance(value, float)))
+            if self.scheduler is not None:
+                self.scheduler.step()
+            if self.diverged and stop_on_divergence:
+                break
+        return self.history

@@ -1,0 +1,146 @@
+"""Tests for the analysis tools behind Figs. 6, 7 and 8."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    StabilityReport,
+    analyze_history,
+    collect_parameter_distribution,
+    compare_stability,
+    frequency_energy_split,
+    layer_responses,
+    quadratic_significance,
+)
+from repro.models import CifarResNet, SimpleCNN
+from repro.quadratic import EfficientQuadraticConv2d
+from repro.training import History
+
+
+class TestParameterDistribution:
+    def test_collect_from_quadratic_resnet(self):
+        model = CifarResNet(8, neuron_type="proposed", rank=3, base_width=4, seed=0)
+        stats = collect_parameter_distribution(model)
+        kinds = {stat.kind for stat in stats}
+        assert kinds == {"linear", "quadratic"}
+        quadratic_stats = [stat for stat in stats if stat.kind == "quadratic"]
+        assert len(quadratic_stats) == model.num_conv_layers
+
+    def test_collect_from_linear_resnet_has_no_quadratic(self):
+        model = CifarResNet(8, neuron_type="linear", base_width=4, seed=0)
+        stats = collect_parameter_distribution(model)
+        assert all(stat.kind == "linear" for stat in stats)
+
+    def test_layer_indices_are_consecutive(self):
+        model = SimpleCNN(neuron_type="proposed", rank=3, base_width=4, seed=0)
+        stats = collect_parameter_distribution(model)
+        indices = sorted({stat.layer_index for stat in stats})
+        assert indices == list(range(1, len(indices) + 1))
+
+    def test_stats_fields_consistent(self):
+        model = SimpleCNN(neuron_type="proposed", rank=3, base_width=4, seed=0)
+        for stat in collect_parameter_distribution(model):
+            assert stat.minimum <= stat.quantile_05 <= stat.quantile_95 <= stat.maximum
+            assert stat.count > 0
+
+    def test_quadratic_significance_keys(self):
+        model = CifarResNet(8, neuron_type="proposed", rank=3, base_width=4, seed=0)
+        significance = quadratic_significance(collect_parameter_distribution(model))
+        assert len(significance) == model.num_conv_layers
+        assert all(value >= 0 for value in significance.values())
+
+
+class TestResponseAnalysis:
+    def _layer_and_images(self):
+        rng = np.random.default_rng(0)
+        layer = EfficientQuadraticConv2d(3, 2, 3, padding=1, rank=3,
+                                         rng=np.random.default_rng(1))
+        images = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        return layer, images
+
+    def test_layer_responses_shapes(self):
+        layer, images = self._layer_and_images()
+        responses = layer_responses(layer, images)
+        assert responses.linear.shape == (2, 2, 8, 8)
+        assert responses.quadratic.shape == (2, 2, 8, 8)
+        assert responses.combined.shape == (2, 2, 8, 8)
+
+    def test_responses_match_layer_forward(self):
+        """linear + quadratic must equal the response channels of the layer output."""
+        from repro.tensor import Tensor
+        layer, images = self._layer_and_images()
+        responses = layer_responses(layer, images)
+        full = layer(Tensor(images)).data
+        np.testing.assert_allclose(responses.combined, full[:, :2], rtol=1e-4, atol=1e-5)
+
+    def test_rejects_non_quadratic_layer(self):
+        from repro import nn
+        with pytest.raises(TypeError):
+            layer_responses(nn.Conv2d(3, 4, 3), np.zeros((1, 3, 8, 8), dtype=np.float32))
+
+    def test_frequency_split_fractions_sum_to_one(self):
+        rng = np.random.default_rng(2)
+        split = frequency_energy_split(rng.standard_normal((4, 16, 16)))
+        assert split["low_fraction"] + split["high_fraction"] == pytest.approx(1.0)
+
+    def test_constant_image_is_all_low_frequency(self):
+        split = frequency_energy_split(np.ones((8, 8)))
+        assert split["low_fraction"] == pytest.approx(1.0)
+
+    def test_checkerboard_is_high_frequency(self):
+        checkerboard = np.indices((16, 16)).sum(axis=0) % 2
+        split = frequency_energy_split(checkerboard.astype(np.float64) - 0.5)
+        assert split["high_fraction"] > 0.9
+
+    def test_zero_input(self):
+        split = frequency_energy_split(np.zeros((4, 4)))
+        assert split["total_energy"] == 0.0
+
+
+class TestStability:
+    def _history(self, losses, accuracies=None, diverged_at=None, eval_losses=None):
+        history = History()
+        for index, loss in enumerate(losses):
+            record = {"train_loss": loss,
+                      "train_accuracy": (accuracies or [0.5] * len(losses))[index],
+                      "diverged": diverged_at is not None and index + 1 >= diverged_at}
+            if eval_losses is not None:
+                record["eval_loss"] = eval_losses[index]
+            history.append(**record)
+        return history
+
+    def test_stable_run(self):
+        report = analyze_history(self._history([2.0, 1.0, 0.5]), label="stable")
+        assert not report.diverged
+        assert report.divergence_epoch is None
+        assert report.final_train_loss == 0.5
+
+    def test_diverged_run_detected(self):
+        report = analyze_history(self._history([2.0, 50.0, float("inf")], diverged_at=3),
+                                 label="boom")
+        assert report.diverged
+        assert report.divergence_epoch == 3
+
+    def test_nan_loss_marks_divergence(self):
+        report = analyze_history(self._history([2.0, float("nan")]))
+        assert report.diverged
+
+    def test_fluctuation_larger_for_oscillating_loss(self):
+        smooth = analyze_history(self._history([3.0, 2.5, 2.0, 1.5]))
+        jumpy = analyze_history(self._history([3.0, 1.0, 4.0, 0.5]))
+        assert jumpy.loss_fluctuation > smooth.loss_fluctuation
+
+    def test_eval_extreme_values_flag(self):
+        report = analyze_history(self._history([1.0, 0.9], eval_losses=[0.8, 1e5]))
+        assert report.eval_extreme_values
+
+    def test_compare_ranks_stable_first(self):
+        stable = analyze_history(self._history([1.0, 0.5], accuracies=[0.6, 0.9]), "ours")
+        diverged = analyze_history(self._history([1.0, float("nan")]), "knn")
+        comparison = compare_stability([diverged, stable])
+        assert comparison["ranking"][0] == "ours"
+        assert comparison["diverged"] == ["knn"]
+
+    def test_report_as_dict(self):
+        report = StabilityReport("x", False, None, 0.1, 0.9, 0.8, 0.01, 1.0)
+        assert report.as_dict()["label"] == "x"

@@ -1,0 +1,174 @@
+"""Tests for the prior-work quadratic neuron baselines and the kervolution layer."""
+
+import numpy as np
+import pytest
+
+from repro.quadratic import (
+    FactorizedQuadraticConv2d,
+    FactorizedQuadraticLinear,
+    GeneralQuadraticConv2d,
+    GeneralQuadraticLinear,
+    KervolutionConv2d,
+    KervolutionLinear,
+    PureQuadraticConv2d,
+    Quad1Conv2d,
+    Quad1Linear,
+    Quad2Conv2d,
+    Quad2Linear,
+    QuadraticResidualConv2d,
+    QuadraticResidualLinear,
+    neuron_complexity,
+)
+from repro.tensor import Tensor, check_gradients
+
+
+RNG = np.random.default_rng(0)
+
+
+def _x(shape):
+    return RNG.standard_normal(shape).astype(np.float64)
+
+
+class TestDenseFormulas:
+    def test_quad2_formula(self):
+        layer = Quad2Linear(6, 4, rng=np.random.default_rng(1))
+        x = _x((3, 6))
+        expected = ((x @ layer.weight_a.data.T) * (x @ layer.weight_b.data.T)
+                    + x @ layer.weight_linear.data.T + layer.bias.data)
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected, rtol=1e-5)
+
+    def test_quad1_formula(self):
+        layer = Quad1Linear(6, 4, rng=np.random.default_rng(2))
+        x = _x((3, 6))
+        expected = ((x @ layer.weight_a.data.T) * (x @ layer.weight_b.data.T)
+                    + (x ** 2) @ layer.weight_square.data.T + layer.bias.data)
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected, rtol=1e-5)
+
+    def test_quadratic_residual_reuses_first_projection(self):
+        layer = QuadraticResidualLinear(6, 4, rng=np.random.default_rng(3))
+        x = _x((3, 6))
+        first = x @ layer.weight_a.data.T + layer.bias.data
+        expected = first * (x @ layer.weight_b.data.T) + first
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected, rtol=1e-5)
+
+    def test_general_quadratic_formula(self):
+        layer = GeneralQuadraticLinear(5, 3, rng=np.random.default_rng(4))
+        x = _x((2, 5))
+        out = layer(Tensor(x)).data
+        for sample in range(2):
+            for neuron in range(3):
+                expected = (x[sample] @ layer.quadratic.data[neuron] @ x[sample]
+                            + layer.weight.data[neuron] @ x[sample] + layer.bias.data[neuron])
+                assert out[sample, neuron] == pytest.approx(expected, rel=1e-4)
+
+    def test_factorized_formula(self):
+        layer = FactorizedQuadraticLinear(6, 3, rank=2, rng=np.random.default_rng(5))
+        x = _x((2, 6))
+        left = (x @ layer.factor_a.data).reshape(2, 3, 2)
+        right = (x @ layer.factor_b.data).reshape(2, 3, 2)
+        expected = (left * right).sum(-1) + x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected, rtol=1e-5)
+
+    def test_kervolution_linear_formula(self):
+        layer = KervolutionLinear(6, 4, degree=2, offset=0.5, rng=np.random.default_rng(6))
+        x = _x((3, 6))
+        expected = (x @ layer.weight.data.T + layer.bias.data + 0.5) ** 2
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected, rtol=1e-5)
+
+    @pytest.mark.parametrize("layer_cls", [Quad1Linear, Quad2Linear, QuadraticResidualLinear,
+                                           GeneralQuadraticLinear])
+    def test_dense_gradients(self, layer_cls):
+        layer = layer_cls(5, 3, rng=np.random.default_rng(7))
+        for parameter in layer.parameters():
+            parameter.data = parameter.data.astype(np.float64)
+        x = Tensor(_x((2, 5)), requires_grad=True)
+        check_gradients(lambda: layer(x).tanh().sum(), list(layer.parameters()) + [x],
+                        tolerance=1e-4)
+
+
+class TestDenseParameterCountsMatchTableI:
+    @pytest.mark.parametrize("layer_cls,neuron_type,kwargs", [
+        (Quad1Linear, "quad1", {}),
+        (Quad2Linear, "quad2", {}),
+        (QuadraticResidualLinear, "quad_residual", {}),
+        (GeneralQuadraticLinear, "general", {}),
+        (FactorizedQuadraticLinear, "factorized", {"rank": 3}),
+    ])
+    def test_parameters_per_neuron(self, layer_cls, neuron_type, kwargs):
+        n, out = 11, 4
+        layer = layer_cls(n, out, bias=False, rng=np.random.default_rng(8), **kwargs)
+        expected = out * neuron_complexity(neuron_type, n, kwargs.get("rank", 1)).parameters
+        assert layer.num_parameters() == expected
+
+
+class TestConvBaselines:
+    @pytest.mark.parametrize("layer_cls,kwargs", [
+        (Quad1Conv2d, {}),
+        (Quad2Conv2d, {}),
+        (QuadraticResidualConv2d, {}),
+        (FactorizedQuadraticConv2d, {"rank": 2}),
+        (GeneralQuadraticConv2d, {}),
+        (PureQuadraticConv2d, {}),
+        (KervolutionConv2d, {"degree": 3}),
+    ])
+    def test_shapes_and_backward(self, layer_cls, kwargs):
+        layer = layer_cls(3, 5, 3, padding=1, rng=np.random.default_rng(9), **kwargs)
+        x = Tensor(_x((2, 3, 6, 6)).astype(np.float32), requires_grad=True)
+        out = layer(x)
+        assert out.shape == (2, 5, 6, 6)
+        out.tanh().sum().backward()
+        assert all(parameter.grad is not None for parameter in layer.parameters())
+
+    def test_quad2_conv_matches_composition_of_convs(self):
+        from repro.tensor import conv2d
+        layer = Quad2Conv2d(2, 3, 3, padding=1, rng=np.random.default_rng(10))
+        x = _x((1, 2, 5, 5))
+        expected = (conv2d(Tensor(x), layer.weight_a, None, padding=1).data
+                    * conv2d(Tensor(x), layer.weight_b, None, padding=1).data
+                    + conv2d(Tensor(x), layer.weight_c, layer.bias, padding=1).data)
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected, rtol=1e-5)
+
+    def test_pure_quadratic_has_no_linear_parameters(self):
+        layer = PureQuadraticConv2d(2, 3, 3, rng=np.random.default_rng(11))
+        names = [name for name, _ in layer.named_parameters()]
+        assert names == ["quadratic"]
+
+    def test_general_conv_quadratic_tag(self):
+        layer = GeneralQuadraticConv2d(2, 2, 3, rng=np.random.default_rng(12))
+        assert layer.quadratic.tag == "quadratic"
+
+    def test_stride_reduces_resolution(self):
+        layer = Quad2Conv2d(3, 4, 3, stride=2, padding=1, rng=np.random.default_rng(13))
+        out = layer(Tensor(_x((1, 3, 8, 8)).astype(np.float32)))
+        assert out.shape == (1, 4, 4, 4)
+
+
+class TestKervolution:
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            KervolutionConv2d(3, 4, 3, degree=0)
+        with pytest.raises(ValueError):
+            KervolutionLinear(3, 4, degree=0)
+
+    def test_no_extra_parameters_vs_conv(self):
+        from repro.nn import Conv2d
+        kerv = KervolutionConv2d(3, 8, 3, rng=np.random.default_rng(14))
+        conv = Conv2d(3, 8, 3, rng=np.random.default_rng(14))
+        assert kerv.num_parameters() == conv.num_parameters()
+
+    def test_learnable_offset_adds_parameter(self):
+        layer = KervolutionConv2d(3, 4, 3, learnable_offset=True,
+                                  rng=np.random.default_rng(15))
+        names = [name for name, _ in layer.named_parameters()]
+        assert "offset" in names
+
+    def test_higher_degree_amplifies_large_responses(self):
+        """The mechanism behind the Fig. 6 instability: large responses grow polynomially."""
+        rng = np.random.default_rng(16)
+        x = Tensor(np.abs(rng.standard_normal((1, 3, 6, 6)).astype(np.float32)) * 3)
+        degree2 = KervolutionConv2d(3, 4, 3, degree=2, rng=np.random.default_rng(17))
+        degree4 = KervolutionConv2d(3, 4, 3, degree=4, rng=np.random.default_rng(17))
+        assert float(np.abs(degree4(x).data).max()) > float(np.abs(degree2(x).data).max())
+
+    def test_repr(self):
+        assert "degree=3" in repr(KervolutionConv2d(3, 4, 3, degree=3))

@@ -1,0 +1,105 @@
+"""Tests for the Table I / Eq. (9) / Eq. (10) cost model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quadratic import (
+    NEURON_FORMULAS,
+    neuron_complexity,
+    proposed_mac_count,
+    proposed_parameter_count,
+    table_i_rows,
+)
+
+
+class TestProposedCounts:
+    def test_eq9_parameter_count(self):
+        # (k+1)n + k with n=27, k=9 -> 279
+        assert proposed_parameter_count(27, 9) == 279
+
+    def test_eq10_mac_count(self):
+        # (k+1)n + 2k with n=27, k=9 -> 288
+        assert proposed_mac_count(27, 9) == 288
+
+    def test_per_output_costs_near_linear(self):
+        cost = neuron_complexity("proposed", 100, 9)
+        assert cost.parameters_per_output == pytest.approx(100 + 9 / 10)
+        assert cost.macs_per_output == pytest.approx(100 + 18 / 10)
+
+    def test_outputs_per_neuron(self):
+        assert neuron_complexity("proposed", 27, 9).outputs_per_neuron == 10
+        assert neuron_complexity("linear", 27, 9).outputs_per_neuron == 1
+
+
+class TestTableIFormulas:
+    @pytest.mark.parametrize("neuron,params,macs", [
+        ("linear", 27, 27),
+        ("general", 27 * 27 + 27, 27 * 27 + 54),
+        ("pure", 27 * 27, 27 * 27 + 27),
+        ("quad_residual", 54, 54),
+        ("factorized", 2 * 9 * 27 + 27, 2 * 9 * 27 + 9),
+        ("quad1", 81, 108),
+        ("quad2", 81, 81),
+        ("proposed", 279, 288),
+    ])
+    def test_counts_for_n27_k9(self, neuron, params, macs):
+        cost = neuron_complexity(neuron, 27, 9)
+        assert cost.parameters == params
+        assert cost.macs == macs
+
+    def test_unknown_neuron_type(self):
+        with pytest.raises(KeyError):
+            neuron_complexity("cubic", 10)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            neuron_complexity("linear", 0)
+        with pytest.raises(ValueError):
+            neuron_complexity("proposed", 10, 0)
+
+    def test_registry_covers_all_table_rows(self):
+        rows = table_i_rows(27, 9)
+        assert {row["neuron"] for row in rows} == set(NEURON_FORMULAS)
+
+    def test_table_rows_contain_per_output_costs(self):
+        rows = {row["neuron"]: row for row in table_i_rows(64, 4)}
+        assert rows["proposed"]["parameters_per_output"] < rows["quad2"]["parameters_per_output"]
+        assert rows["proposed"]["macs_per_output"] < rows["quad1"]["macs_per_output"]
+
+
+class TestOrderingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=4, max_value=512), st.integers(min_value=1, max_value=16))
+    def test_proposed_cheaper_per_output_than_prior_quadratics(self, n, k):
+        """The proposed neuron's per-output cost beats every prior quadratic design."""
+        proposed = neuron_complexity("proposed", n, k)
+        for baseline in ("general", "pure", "quad1", "quad2", "factorized"):
+            cost = neuron_complexity(baseline, n, k)
+            assert proposed.parameters_per_output < cost.parameters_per_output
+            assert proposed.macs_per_output <= cost.macs_per_output
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=2, max_value=512), st.integers(min_value=1, max_value=16))
+    def test_proposed_per_output_overhead_bounded(self, n, k):
+        """Per-output overhead over a linear neuron is < 1 parameter and < 2 MACs (Sec. III-C)."""
+        proposed = neuron_complexity("proposed", n, k)
+        linear = neuron_complexity("linear", n, k)
+        assert proposed.parameters_per_output - linear.parameters < 1.0
+        assert proposed.macs_per_output - linear.macs < 2.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=256), st.integers(min_value=1, max_value=8))
+    def test_factorized_cost_grows_with_k_but_proposed_per_output_does_not(self, n, k):
+        """Table I claim: [18] pays 2kn for rank k; the proposed neuron amortizes it away."""
+        factorized_k = neuron_complexity("factorized", n, k)
+        factorized_k1 = neuron_complexity("factorized", n, k + 1)
+        assert factorized_k1.parameters - factorized_k.parameters == 2 * n
+
+        proposed_k = neuron_complexity("proposed", n, k)
+        proposed_k1 = neuron_complexity("proposed", n, k + 1)
+        assert proposed_k1.parameters_per_output - proposed_k.parameters_per_output < 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=128))
+    def test_general_quadratic_cost(self, n):
+        assert neuron_complexity("general", n).parameters == n * n + n

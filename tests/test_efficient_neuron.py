@@ -1,0 +1,217 @@
+"""Tests for the proposed efficient quadratic neuron (dense and convolutional)."""
+
+import numpy as np
+import pytest
+
+from repro.quadratic import (
+    EfficientQuadraticConv2d,
+    EfficientQuadraticLinear,
+    neurons_for_width,
+    proposed_parameter_count,
+)
+from repro.tensor import Tensor, check_gradients, im2col
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestNeuronsForWidth:
+    @pytest.mark.parametrize("width,rank,expected", [
+        (10, 9, 1), (16, 3, 4), (17, 3, 5), (1, 9, 1), (64, 9, 7),
+    ])
+    def test_values(self, width, rank, expected):
+        assert neurons_for_width(width, rank) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            neurons_for_width(0, 3)
+        with pytest.raises(ValueError):
+            neurons_for_width(8, 0)
+
+
+class TestDenseLayer:
+    def _layer(self, **kwargs):
+        defaults = dict(in_features=8, num_neurons=3, rank=2,
+                        rng=np.random.default_rng(1))
+        defaults.update(kwargs)
+        return EfficientQuadraticLinear(**defaults)
+
+    def test_output_width_vectorized(self):
+        layer = self._layer()
+        out = layer(Tensor(RNG.standard_normal((5, 8)).astype(np.float32)))
+        assert out.shape == (5, 3 * (2 + 1))
+        assert layer.out_features == 9
+
+    def test_output_width_scalar(self):
+        layer = self._layer(vectorized_output=False)
+        out = layer(Tensor(RNG.standard_normal((5, 8)).astype(np.float32)))
+        assert out.shape == (5, 3)
+
+    def test_forward_matches_paper_formula(self):
+        """y = wᵀx + b + (fᵏ)ᵀΛᵏfᵏ and the extra outputs are fᵏ = (Qᵏ)ᵀx."""
+        layer = self._layer()
+        x = RNG.standard_normal((4, 8)).astype(np.float64)
+        out = layer(Tensor(x)).data
+        for neuron in range(3):
+            q = layer.q_weight.data[:, neuron * 2:(neuron + 1) * 2]
+            lam = layer.lambdas.data[neuron]
+            w = layer.weight.data[neuron]
+            b = layer.bias.data[neuron]
+            for sample in range(4):
+                f = q.T @ x[sample]
+                expected_y = w @ x[sample] + b + f @ np.diag(lam) @ f
+                assert out[sample, neuron] == pytest.approx(expected_y, rel=1e-4)
+                np.testing.assert_allclose(out[sample, 3 + neuron * 2:3 + (neuron + 1) * 2],
+                                           f, rtol=1e-4)
+
+    def test_trimmed_output(self):
+        layer = self._layer(out_features=7)
+        out = layer(Tensor(RNG.standard_normal((2, 8)).astype(np.float32)))
+        assert out.shape == (2, 7)
+
+    def test_over_requested_output_raises(self):
+        with pytest.raises(ValueError):
+            self._layer(out_features=100)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            EfficientQuadraticLinear(8, 2, rank=0)
+
+    def test_wrong_input_width_raises(self):
+        with pytest.raises(ValueError):
+            self._layer()(Tensor(np.zeros((2, 5), dtype=np.float32)))
+
+    def test_3d_input(self):
+        layer = self._layer()
+        out = layer(Tensor(RNG.standard_normal((2, 6, 8)).astype(np.float32)))
+        assert out.shape == (2, 6, 9)
+
+    def test_parameter_count_matches_eq9(self):
+        layer = self._layer(bias=False)
+        assert layer.num_parameters() == layer.parameter_count()
+        assert layer.parameter_count() == 3 * proposed_parameter_count(8, 2)
+
+    def test_mac_count_helper(self):
+        layer = self._layer()
+        assert layer.mac_count() == 3 * ((2 + 1) * 8 + 4)
+
+    def test_lambda_parameters_tagged_quadratic(self):
+        layer = self._layer()
+        assert layer.lambdas.tag == "quadratic"
+        assert layer.weight.tag == "linear"
+
+    def test_for_output_features(self):
+        layer = EfficientQuadraticLinear.for_output_features(16, 20, rank=4,
+                                                             rng=np.random.default_rng(2))
+        assert layer.num_neurons == 4
+        assert layer(Tensor(RNG.standard_normal((3, 16)).astype(np.float32))).shape == (3, 20)
+
+    def test_for_output_features_scalar_output(self):
+        layer = EfficientQuadraticLinear.for_output_features(
+            16, 6, rank=4, vectorized_output=False, rng=np.random.default_rng(2))
+        assert layer.num_neurons == 6
+
+    def test_gradients(self):
+        layer = self._layer()
+        for parameter in layer.parameters():
+            parameter.data = parameter.data.astype(np.float64)
+        x = Tensor(RNG.standard_normal((3, 8)), requires_grad=True)
+
+        def objective():
+            return layer(x).tanh().sum()
+
+        check_gradients(objective, list(layer.parameters()) + [x], tolerance=1e-4)
+
+    def test_zero_lambda_reduces_to_linear_plus_projections(self):
+        layer = self._layer(lambda_init=0.0)
+        x = RNG.standard_normal((2, 8)).astype(np.float64)
+        out = layer(Tensor(x)).data
+        expected_linear = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(out[:, :3], expected_linear, rtol=1e-5)
+
+
+class TestConvLayer:
+    def _layer(self, **kwargs):
+        defaults = dict(in_channels=3, num_filters=2, kernel_size=3, padding=1, rank=3,
+                        rng=np.random.default_rng(3))
+        defaults.update(kwargs)
+        return EfficientQuadraticConv2d(**defaults)
+
+    def test_output_channels(self):
+        layer = self._layer()
+        out = layer(Tensor(RNG.standard_normal((2, 3, 6, 6)).astype(np.float32)))
+        assert out.shape == (2, 2 * 4, 6, 6)
+
+    def test_stride(self):
+        layer = self._layer(stride=2)
+        out = layer(Tensor(RNG.standard_normal((2, 3, 8, 8)).astype(np.float32)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_matches_dense_layer_on_patches(self):
+        """The conv layer must equal the dense neuron applied to every im2col patch."""
+        layer = self._layer(padding=0)
+        x = RNG.standard_normal((1, 3, 5, 5)).astype(np.float64)
+        out = layer(Tensor(x)).data                        # (1, 8, 3, 3)
+        patches = im2col(x, 3, 1, 0)                       # (1, 3, 3, 27)
+
+        q = layer.q_weight.data.reshape(2, 3, -1)          # (filters, rank, fan_in)
+        w = layer.weight.data.reshape(2, -1)
+        for filter_index in range(2):
+            for i in range(3):
+                for j in range(3):
+                    patch = patches[0, i, j]
+                    f = q[filter_index] @ patch
+                    y = (w[filter_index] @ patch + layer.bias.data[filter_index]
+                         + f @ np.diag(layer.lambdas.data[filter_index]) @ f)
+                    assert out[0, filter_index, i, j] == pytest.approx(y, rel=1e-4)
+                    np.testing.assert_allclose(
+                        out[0, 2 + filter_index * 3:2 + (filter_index + 1) * 3, i, j],
+                        f, rtol=1e-4)
+
+    def test_trim_to_out_channels(self):
+        layer = EfficientQuadraticConv2d.for_output_channels(3, 10, 3, rank=3, padding=1,
+                                                             rng=np.random.default_rng(4))
+        out = layer(Tensor(RNG.standard_normal((1, 3, 4, 4)).astype(np.float32)))
+        assert out.shape == (1, 10, 4, 4)
+        assert layer.num_filters == 3
+
+    def test_for_output_channels_scalar_output(self):
+        layer = EfficientQuadraticConv2d.for_output_channels(
+            3, 6, 3, rank=3, padding=1, vectorized_output=False,
+            rng=np.random.default_rng(4))
+        assert layer.num_filters == 6
+        out = layer(Tensor(RNG.standard_normal((1, 3, 4, 4)).astype(np.float32)))
+        assert out.shape == (1, 6, 4, 4)
+
+    def test_parameter_count_matches_eq9(self):
+        layer = self._layer(bias=False)
+        assert layer.num_parameters() == layer.parameter_count()
+
+    def test_mac_count_per_position(self):
+        layer = self._layer()
+        fan_in = 27
+        assert layer.mac_count_per_position() == 2 * ((3 + 1) * fan_in + 6)
+
+    def test_q_initialization_orthogonal_with_gain(self):
+        layer = self._layer(q_init_gain=1.0)
+        q = layer.q_weight.data.reshape(2, 3, 27)[0].reshape(3, 27).T
+        np.testing.assert_allclose(q.T @ q, np.eye(3), atol=1e-5)
+
+    def test_gradients(self):
+        layer = self._layer()
+        for parameter in layer.parameters():
+            parameter.data = parameter.data.astype(np.float64)
+        x = Tensor(RNG.standard_normal((1, 3, 5, 5)), requires_grad=True)
+
+        def objective():
+            return layer(x).sigmoid().sum()
+
+        check_gradients(objective, list(layer.parameters()) + [x], tolerance=1e-4)
+
+    def test_invalid_requested_channels(self):
+        with pytest.raises(ValueError):
+            EfficientQuadraticConv2d(3, 1, 3, rank=3, out_channels=10)
+
+    def test_repr(self):
+        assert "rank=3" in repr(self._layer())
+        assert "rank" in repr(EfficientQuadraticLinear(4, 2, rank=2))

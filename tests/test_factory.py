@@ -1,0 +1,69 @@
+"""Tests for the neuron-type factory used by the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.quadratic import CONV_NEURON_TYPES, DENSE_NEURON_TYPES, make_conv, make_dense
+from repro.tensor import Tensor
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestConvFactory:
+    @pytest.mark.parametrize("neuron_type", sorted(CONV_NEURON_TYPES))
+    def test_every_type_produces_requested_geometry(self, neuron_type):
+        layer = make_conv(neuron_type, 3, 12, 3, stride=1, padding=1, rank=3,
+                          rng=np.random.default_rng(1))
+        out = layer(Tensor(RNG.standard_normal((2, 3, 6, 6)).astype(np.float32)))
+        assert out.shape == (2, 12, 6, 6)
+
+    @pytest.mark.parametrize("neuron_type", sorted(CONV_NEURON_TYPES))
+    def test_every_type_supports_stride(self, neuron_type):
+        layer = make_conv(neuron_type, 3, 8, 3, stride=2, padding=1, rank=3,
+                          rng=np.random.default_rng(2))
+        out = layer(Tensor(RNG.standard_normal((1, 3, 8, 8)).astype(np.float32)))
+        assert out.shape == (1, 8, 4, 4)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(KeyError):
+            make_conv("septic", 3, 8, 3)
+
+    def test_registry_contains_expected_types(self):
+        assert {"linear", "proposed", "quad1", "quad2", "kervolution",
+                "factorized", "general", "pure", "quad_residual"} <= set(CONV_NEURON_TYPES)
+
+    def test_proposed_cost_close_to_linear(self):
+        # 30 output channels with rank 9 → exactly 3 neurons, no ceiling effect.
+        linear = make_conv("linear", 8, 30, 3, rank=9, bias=False,
+                           rng=np.random.default_rng(3))
+        proposed = make_conv("proposed", 8, 30, 3, rank=9, bias=False,
+                             rng=np.random.default_rng(3))
+        quad2 = make_conv("quad2", 8, 30, 3, rank=9, bias=False,
+                          rng=np.random.default_rng(3))
+        # The proposed layer stays within ~2% of the plain convolution while
+        # Quad-2 pays the full 3x factor of Table I.
+        assert proposed.num_parameters() < 1.02 * linear.num_parameters()
+        assert quad2.num_parameters() == pytest.approx(3 * linear.num_parameters(), rel=1e-6)
+
+    def test_neuron_kwargs_forwarded(self):
+        layer = make_conv("kervolution", 3, 4, 3, rng=np.random.default_rng(4), degree=4)
+        assert layer.degree == 4
+
+
+class TestDenseFactory:
+    @pytest.mark.parametrize("neuron_type", sorted(DENSE_NEURON_TYPES))
+    def test_every_type_produces_requested_geometry(self, neuron_type):
+        layer = make_dense(neuron_type, 10, 7, rank=3, rng=np.random.default_rng(5))
+        out = layer(Tensor(RNG.standard_normal((4, 10)).astype(np.float32)))
+        assert out.shape == (4, 7)
+
+    @pytest.mark.parametrize("neuron_type", ["linear", "proposed", "quad2"])
+    def test_sequence_inputs_supported(self, neuron_type):
+        layer = make_dense(neuron_type, 10, 8, rank=3, rng=np.random.default_rng(6))
+        out = layer(Tensor(RNG.standard_normal((2, 5, 10)).astype(np.float32)))
+        assert out.shape == (2, 5, 8)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(KeyError):
+            make_dense("cubic", 4, 4)

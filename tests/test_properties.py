@@ -1,0 +1,135 @@
+"""Hypothesis property tests for core invariants of the tensor engine and metrics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics import corpus_bleu
+from repro.quadratic import EfficientQuadraticLinear, neurons_for_width
+from repro.tensor import Tensor, unbroadcast
+from repro.tensor import functional as F
+
+
+finite_floats = st.floats(min_value=-100, max_value=100, allow_nan=False,
+                          allow_infinity=False, width=32)
+
+
+def small_arrays(max_side=4):
+    return hnp.arrays(dtype=np.float64,
+                      shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1,
+                                             max_side=max_side),
+                      elements=st.floats(min_value=-10, max_value=10, allow_nan=False))
+
+
+class TestTensorAlgebraProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(small_arrays(), small_arrays())
+    def test_addition_commutes(self, a, b):
+        if a.shape != b.shape:
+            return
+        left = (Tensor(a) + Tensor(b)).data
+        right = (Tensor(b) + Tensor(a)).data
+        np.testing.assert_allclose(left, right)
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_arrays())
+    def test_double_negation_is_identity(self, a):
+        np.testing.assert_allclose((-(-Tensor(a))).data, a)
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_arrays())
+    def test_sum_matches_numpy(self, a):
+        assert float(Tensor(a).sum().data) == pytest_approx(a.sum())
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_arrays())
+    def test_relu_is_idempotent_and_nonnegative(self, a):
+        once = Tensor(a).relu()
+        twice = once.relu()
+        np.testing.assert_allclose(once.data, twice.data)
+        assert np.all(once.data >= 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_arrays())
+    def test_reshape_preserves_content(self, a):
+        flat = Tensor(a).reshape(-1)
+        np.testing.assert_allclose(np.sort(flat.data), np.sort(a.reshape(-1)))
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_arrays())
+    def test_gradient_of_sum_is_ones(self, a):
+        t = Tensor(a, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(a))
+
+    @settings(max_examples=30, deadline=None)
+    @given(hnp.arrays(dtype=np.float64, shape=(3, 4),
+                      elements=st.floats(min_value=-5, max_value=5, allow_nan=False)))
+    def test_unbroadcast_preserves_total_gradient_mass(self, grad):
+        reduced = unbroadcast(grad, (4,))
+        assert reduced.shape == (4,)
+        assert float(reduced.sum()) == pytest_approx(float(grad.sum()))
+
+
+class TestSoftmaxProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(hnp.arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 5), st.integers(2, 6)),
+                      elements=st.floats(min_value=-30, max_value=30, allow_nan=False)))
+    def test_softmax_is_a_distribution(self, logits):
+        probs = F.softmax(Tensor(logits), axis=-1).data
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-5)
+        assert np.all(probs >= 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(hnp.arrays(dtype=np.float64, shape=(3, 5),
+                      elements=st.floats(min_value=-30, max_value=30, allow_nan=False)),
+           st.floats(min_value=-50, max_value=50, allow_nan=False))
+    def test_softmax_shift_invariance(self, logits, shift):
+        base = F.softmax(Tensor(logits), axis=-1).data
+        shifted = F.softmax(Tensor(logits + shift), axis=-1).data
+        np.testing.assert_allclose(base, shifted, atol=1e-6)
+
+
+class TestQuadraticNeuronProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=12))
+    def test_neurons_for_width_covers_but_not_overshoots(self, width, rank):
+        neurons = neurons_for_width(width, rank)
+        assert neurons * (rank + 1) >= width
+        assert (neurons - 1) * (rank + 1) < width
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=10), st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=1000))
+    def test_dense_layer_output_width_and_finiteness(self, in_features, rank, seed):
+        layer = EfficientQuadraticLinear(in_features, 2, rank=rank,
+                                         rng=np.random.default_rng(seed))
+        x = np.random.default_rng(seed + 1).standard_normal((3, in_features)).astype(np.float32)
+        out = layer(Tensor(x))
+        assert out.shape == (3, 2 * (rank + 1))
+        assert np.all(np.isfinite(out.data))
+
+
+class TestBleuProperties:
+    sentences = st.lists(st.sampled_from(["anna", "sieht", "das", "haus", "hund", "."]),
+                         min_size=1, max_size=8)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(sentences, min_size=1, max_size=4))
+    def test_bleu_bounded_and_perfect_on_self(self, corpus):
+        score = corpus_bleu(corpus, corpus)
+        assert 0.0 <= score <= 100.0 + 1e-9
+        assert score == pytest_approx(100.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(sentences, min_size=1, max_size=4), st.lists(sentences, min_size=1,
+                                                                 max_size=4))
+    def test_bleu_never_exceeds_100(self, hypotheses, references):
+        if len(hypotheses) != len(references):
+            return
+        assert corpus_bleu(hypotheses, references) <= 100.0 + 1e-9
+
+
+def pytest_approx(value, rel=1e-6, abs_tol=1e-9):
+    import pytest
+    return pytest.approx(value, rel=rel, abs=abs_tol)

@@ -1,0 +1,133 @@
+"""Tests for the Transformer components and the quadratic-projection variant."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    MultiHeadAttention,
+    Transformer,
+    make_causal_mask,
+    make_padding_mask,
+    sinusoidal_positions,
+)
+from repro.quadratic import EfficientQuadraticLinear
+from repro.tensor import Tensor
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestPositionalEncoding:
+    def test_shape_and_range(self):
+        table = sinusoidal_positions(20, 16)
+        assert table.shape == (20, 16)
+        assert np.all(np.abs(table) <= 1.0 + 1e-6)
+
+    def test_first_position_pattern(self):
+        table = sinusoidal_positions(4, 8)
+        np.testing.assert_allclose(table[0, 0::2], 0.0, atol=1e-7)
+        np.testing.assert_allclose(table[0, 1::2], 1.0, atol=1e-7)
+
+    def test_positions_distinct(self):
+        table = sinusoidal_positions(50, 32)
+        assert np.linalg.matrix_rank(table) > 10
+
+
+class TestMasks:
+    def test_padding_mask_marks_pad_positions(self):
+        ids = np.array([[5, 6, 0, 0]])
+        mask = make_padding_mask(ids, pad_id=0)
+        assert mask.shape == (1, 1, 1, 4)
+        assert mask[0, 0, 0, 0] == 0.0
+        assert mask[0, 0, 0, 2] < -1e8
+
+    def test_causal_mask_upper_triangular(self):
+        mask = make_causal_mask(4)[0, 0]
+        assert mask[0, 1] < -1e8
+        assert mask[2, 1] == 0.0
+        assert np.all(np.diag(mask) == 0.0)
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self):
+        attention = MultiHeadAttention(16, 4, rng=np.random.default_rng(1))
+        x = Tensor(RNG.standard_normal((2, 5, 16)).astype(np.float32))
+        assert attention(x, x, x).shape == (2, 5, 16)
+
+    def test_invalid_head_count(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(16, 3)
+
+    def test_masked_positions_do_not_influence_output(self):
+        attention = MultiHeadAttention(8, 2, rng=np.random.default_rng(2))
+        attention.eval()
+        base = RNG.standard_normal((1, 4, 8)).astype(np.float32)
+        altered = base.copy()
+        altered[0, 3] += 100.0           # only the masked position changes
+        mask = np.zeros((1, 1, 1, 4), dtype=np.float32)
+        mask[..., 3] = -1e9
+        out_base = attention(Tensor(base), Tensor(base), Tensor(base), mask).data
+        out_altered = attention(Tensor(altered[:, :3]), Tensor(altered), Tensor(altered),
+                                mask).data
+        np.testing.assert_allclose(out_base[:, :3], out_altered, atol=1e-4)
+
+    def test_quadratic_projections_used_when_requested(self):
+        attention = MultiHeadAttention(12, 2, neuron_type="proposed", rank=3,
+                                       rng=np.random.default_rng(3))
+        assert isinstance(attention.query_proj, EfficientQuadraticLinear)
+
+
+class TestTransformer:
+    def _model(self, neuron_type="linear", model_dim=16):
+        return Transformer(src_vocab_size=20, tgt_vocab_size=22, model_dim=model_dim,
+                           num_heads=4, num_layers=2, hidden_dim=32, max_len=12,
+                           neuron_type=neuron_type, rank=3, seed=0)
+
+    def test_forward_logits_shape(self):
+        model = self._model()
+        src = RNG.integers(3, 20, (2, 6))
+        tgt = RNG.integers(3, 22, (2, 5))
+        assert model(src, tgt).shape == (2, 5, 22)
+
+    def test_backward_reaches_embeddings(self):
+        model = self._model()
+        src = RNG.integers(3, 20, (2, 6))
+        tgt = RNG.integers(3, 22, (2, 5))
+        loss = nn.LabelSmoothingLoss(0.1, ignore_index=0)(model(src, tgt), tgt)
+        loss.backward()
+        assert model.src_embedding.weight.grad is not None
+        assert model.generator.weight.grad is not None
+
+    def test_sequence_longer_than_max_len_raises(self):
+        model = self._model()
+        with pytest.raises(ValueError):
+            model(np.ones((1, 20), dtype=np.int64), np.ones((1, 3), dtype=np.int64))
+
+    def test_greedy_decode_stops_at_eos_and_respects_max_len(self):
+        model = self._model()
+        src = RNG.integers(3, 20, (3, 6))
+        outputs = model.greedy_decode(src, bos_id=1, eos_id=2, max_len=8)
+        assert len(outputs) == 3
+        assert all(len(sequence) <= 8 for sequence in outputs)
+        assert all(2 not in sequence and 0 not in sequence for sequence in outputs)
+
+    def test_greedy_decode_deterministic(self):
+        model = self._model()
+        model.eval()
+        src = RNG.integers(3, 20, (2, 5))
+        first = model.greedy_decode(src, bos_id=1, eos_id=2, max_len=6)
+        second = model.greedy_decode(src, bos_id=1, eos_id=2, max_len=6)
+        assert first == second
+
+    def test_quadratic_variant_has_quadratic_projections(self):
+        model = self._model(neuron_type="proposed")
+        quadratic = [module for module in model.modules()
+                     if isinstance(module, EfficientQuadraticLinear)]
+        # 2 encoder layers * 4 projections + 2 decoder layers * 8 projections.
+        assert len(quadratic) == 2 * 4 + 2 * 8
+
+    def test_smaller_model_dim_reduces_parameters(self):
+        baseline = self._model(model_dim=16)
+        smaller = self._model(neuron_type="proposed", model_dim=12)
+        assert smaller.num_parameters() < baseline.num_parameters()
