@@ -1,0 +1,13 @@
+"""Shared path bootstrap for the standalone example scripts.
+
+Importing this module (Python puts the script's own directory on
+``sys.path``) makes ``python examples/<name>.py`` work without an installed
+package or a ``PYTHONPATH`` override by putting the repo's ``src/`` first.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -10,6 +10,8 @@ Run with::
     python examples/complexity_analysis.py
 """
 
+import _bootstrap  # noqa: F401  (puts the repo's src/ on sys.path)
+
 import numpy as np
 
 from repro.experiments.fig4 import paper_scale_costs

@@ -9,6 +9,8 @@ Run with::
     python examples/image_classification_resnet.py [--depth 8] [--epochs 12]
 """
 
+import _bootstrap  # noqa: F401  (puts the repo's src/ on sys.path)
+
 import argparse
 
 from repro.experiments import get_scale

@@ -10,6 +10,8 @@ Run with::
     python examples/machine_translation_transformer.py [--epochs 8]
 """
 
+import _bootstrap  # noqa: F401  (puts the repo's src/ on sys.path)
+
 import argparse
 
 from repro.data import SyntheticTranslationTask

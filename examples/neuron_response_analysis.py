@@ -14,6 +14,8 @@ Run with::
     python examples/neuron_response_analysis.py
 """
 
+import _bootstrap  # noqa: F401  (puts the repo's src/ on sys.path)
+
 from repro.analysis import (
     collect_parameter_distribution,
     frequency_energy_split,

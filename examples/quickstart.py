@@ -14,6 +14,8 @@ Run with::
     python examples/quickstart.py
 """
 
+import _bootstrap  # noqa: F401  (puts the repo's src/ on sys.path)
+
 import numpy as np
 
 from repro import nn

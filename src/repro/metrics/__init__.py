@@ -8,7 +8,13 @@ from .bleu import (
     tokenize_international,
     EVALUATION_SETTINGS,
 )
-from .profiler import LayerProfile, ModelProfile, profile_model
+from .profiler import (
+    LayerProfile,
+    ModelProfile,
+    OpTimeTable,
+    profile_model,
+    record_op_times,
+)
 
 __all__ = [
     "accuracy",
@@ -20,5 +26,7 @@ __all__ = [
     "EVALUATION_SETTINGS",
     "LayerProfile",
     "ModelProfile",
+    "OpTimeTable",
     "profile_model",
+    "record_op_times",
 ]

@@ -1,4 +1,4 @@
-"""Whole-model parameter and MAC profiler.
+"""Whole-model parameter and MAC profiler, plus per-op wall-time profiling.
 
 The Fig. 4 / Fig. 5 sweeps plot accuracy against the number of parameters and
 the number of multiply-accumulate operations (MACs, reported by the paper as
@@ -10,10 +10,16 @@ with :mod:`repro.quadratic.complexity`.
 As in the paper, only the neuron layers (convolutions and dense projections)
 are counted; normalization, activation, pooling and embedding costs are
 ignored.
+
+:func:`record_op_times` is the wall-time counterpart: it subscribes to the
+graph executor's timing hooks (:func:`repro.tensor.engine.add_op_timing_hook`)
+and aggregates the measured seconds per registered op — forward passes under
+the op name, backward passes under ``"<name>:backward"``.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,6 +31,7 @@ from ..quadratic.baselines import (
     FactorizedQuadraticLinear,
     GeneralQuadraticConv2d,
     GeneralQuadraticLinear,
+    PureQuadraticConv2d,
     Quad1Conv2d,
     Quad1Linear,
     Quad2Conv2d,
@@ -36,8 +43,10 @@ from ..quadratic.complexity import neuron_complexity, proposed_mac_count
 from ..quadratic.efficient import EfficientQuadraticConv2d, EfficientQuadraticLinear
 from ..quadratic.kervolution import KervolutionConv2d, KervolutionLinear
 from ..tensor import Tensor, no_grad
+from ..tensor import engine as tensor_engine
 
-__all__ = ["LayerProfile", "ModelProfile", "profile_model"]
+__all__ = ["LayerProfile", "ModelProfile", "profile_model",
+           "OpTimeTable", "record_op_times"]
 
 
 @dataclass
@@ -147,6 +156,7 @@ _MAC_RULES = [
     (FactorizedQuadraticLinear, _macs_baseline_dense("factorized")),
     (GeneralQuadraticConv2d, _macs_baseline_conv("general")),
     (GeneralQuadraticLinear, _macs_baseline_dense("general")),
+    (PureQuadraticConv2d, _macs_baseline_conv("pure")),
     (Quad1Conv2d, _macs_baseline_conv("quad1")),
     (Quad1Linear, _macs_baseline_dense("quad1")),
     (Quad2Conv2d, _macs_baseline_conv("quad2")),
@@ -160,9 +170,22 @@ _MAC_RULES = [
 ]
 
 
+def _rule_specificity(layer_class) -> int:
+    """Number of other rule classes ``layer_class`` derives from."""
+    return sum(1 for other, _ in _MAC_RULES
+               if other is not layer_class and issubclass(layer_class, other))
+
+
+# Most-derived-first ordering so that PureQuadraticConv2d matches its own
+# "pure" rule before the GeneralQuadraticConv2d base-class rule, and user
+# subclasses of Conv2d/Linear are still profiled via isinstance.
+_ORDERED_MAC_RULES = sorted(_MAC_RULES,
+                            key=lambda item: -_rule_specificity(item[0]))
+
+
 def _find_rule(module: Module):
-    for layer_class, rule in _MAC_RULES:
-        if type(module) is layer_class:
+    for layer_class, rule in _ORDERED_MAC_RULES:
+        if isinstance(module, layer_class):
             return rule
     return None
 
@@ -225,3 +248,63 @@ def profile_model(model: Module, *example_inputs, forward_fn=None) -> ModelProfi
         profile.total_macs += macs
     profile.total_parameters = model.num_parameters()
     return profile
+
+
+# ---------------------------------------------------------------------------
+# Per-op wall-time profiling (fed by the graph executor's timing hooks)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OpTimeTable:
+    """Aggregated wall time per autograd op.
+
+    Keys are op names as emitted by the executor: plain names for forward
+    passes (``"matmul"``) and ``"<name>:backward"`` for VJP executions.
+    """
+
+    total_seconds: dict = field(default_factory=dict)
+    calls: dict = field(default_factory=dict)
+
+    def record(self, op_name: str, seconds: float) -> None:
+        self.total_seconds[op_name] = self.total_seconds.get(op_name, 0.0) + seconds
+        self.calls[op_name] = self.calls.get(op_name, 0) + 1
+
+    @property
+    def grand_total(self) -> float:
+        return sum(self.total_seconds.values())
+
+    def as_rows(self, sort_by_time: bool = True) -> list[dict]:
+        names = sorted(self.total_seconds,
+                       key=(lambda n: -self.total_seconds[n]) if sort_by_time else None)
+        return [{
+            "op": name,
+            "seconds": self.total_seconds[name],
+            "calls": self.calls[name],
+            "mean_microseconds": 1e6 * self.total_seconds[name] / max(self.calls[name], 1),
+        } for name in names]
+
+    def summary(self, top: int = 10) -> str:
+        lines = [f"{'op':<28s} {'calls':>7s} {'total ms':>10s} {'mean us':>9s}"]
+        for row in self.as_rows()[:top]:
+            lines.append(f"{row['op']:<28s} {row['calls']:>7d} "
+                         f"{1e3 * row['seconds']:>10.3f} {row['mean_microseconds']:>9.1f}")
+        return "\n".join(lines)
+
+
+@contextmanager
+def record_op_times():
+    """Context manager that times every op executed inside the block.
+
+    Yields an :class:`OpTimeTable`; the executor's timing hook is removed
+    again on exit, so the zero-overhead fast path is restored.
+
+    >>> with record_op_times() as table:
+    ...     loss = model(batch); loss.backward()
+    >>> print(table.summary())
+    """
+    table = OpTimeTable()
+    tensor_engine.add_op_timing_hook(table.record)
+    try:
+        yield table
+    finally:
+        tensor_engine.remove_op_timing_hook(table.record)

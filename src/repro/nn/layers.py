@@ -10,6 +10,7 @@ import numpy as np
 
 from ..tensor import Tensor, conv2d, max_pool2d, avg_pool2d, global_avg_pool2d
 from ..tensor import functional as F
+from ..tensor.fused import linear as fused_linear
 from . import init
 from .module import Module, Parameter
 
@@ -38,10 +39,7 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight.T
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return fused_linear(x, self.weight, self.bias)
 
     def __repr__(self) -> str:
         return f"Linear(in={self.in_features}, out={self.out_features})"

@@ -28,15 +28,19 @@ class _BatchNormBase(Module):
 
     def _normalize(self, x: Tensor, reduce_axes: tuple, shape: tuple) -> Tensor:
         if self.training:
-            batch_mean = x.data.mean(axis=reduce_axes)
-            batch_var = x.data.var(axis=reduce_axes)
+            # One set of reductions serves both the normalization graph and
+            # the running-statistics update (read back from .data), and the
+            # centered activations are shared with the variance.
+            mean = x.mean(axis=reduce_axes, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=reduce_axes, keepdims=True)
+            batch_mean = mean.data.reshape(self.num_features)
+            batch_var = var.data.reshape(self.num_features)
             self._buffers["running_mean"][...] = (
                 (1 - self.momentum) * self._buffers["running_mean"] + self.momentum * batch_mean)
             self._buffers["running_var"][...] = (
                 (1 - self.momentum) * self._buffers["running_var"] + self.momentum * batch_var)
-            mean = x.mean(axis=reduce_axes, keepdims=True)
-            var = x.var(axis=reduce_axes, keepdims=True)
-            normalized = (x - mean) / (var + self.eps).sqrt()
+            normalized = centered / (var + self.eps).sqrt()
         else:
             mean = Tensor(self._buffers["running_mean"].reshape(shape))
             var = Tensor(self._buffers["running_var"].reshape(shape))
@@ -76,6 +80,7 @@ class LayerNorm(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         mean = x.mean(axis=-1, keepdims=True)
-        var = x.var(axis=-1, keepdims=True)
-        normalized = (x - mean) / (var + self.eps).sqrt()
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (var + self.eps).sqrt()
         return normalized * self.weight + self.bias

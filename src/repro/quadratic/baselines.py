@@ -23,6 +23,7 @@ import numpy as np
 from ..nn import init
 from ..nn.module import Module, Parameter
 from ..tensor import Tensor, conv2d, unfold
+from ..tensor.fused import quadratic_form
 
 __all__ = [
     "GeneralQuadraticLinear",
@@ -62,13 +63,9 @@ class GeneralQuadraticLinear(Module):
         linear = x @ self.weight.T
         if self.bias is not None:
             linear = linear + self.bias
-        responses = []
-        for index in range(self.out_features):
-            matrix = self.quadratic[index]
-            projected = x @ matrix                      # (..., n)
-            responses.append((projected * x).sum(axis=-1))
-        quadratic = Tensor.stack(responses, axis=-1)
-        return linear + quadratic
+        # One batched contraction over all output neurons instead of a
+        # per-output Python loop through the graph.
+        return linear + quadratic_form(x, self.quadratic)
 
 
 class FactorizedQuadraticLinear(Module):
@@ -305,12 +302,8 @@ class GeneralQuadraticConv2d(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         patches = unfold(x, self.kernel_size, self.stride, self.padding)  # (N, H', W', n)
-        responses = []
-        for index in range(self.out_channels):
-            matrix = self.quadratic[index]
-            projected = patches @ matrix
-            responses.append((projected * patches).sum(axis=-1))          # (N, H', W')
-        quadratic = Tensor.stack(responses, axis=1)                       # (N, C_out, H', W')
+        # (N, H', W', C_out) -> (N, C_out, H', W') in one batched contraction.
+        quadratic = quadratic_form(patches, self.quadratic).transpose(0, 3, 1, 2)
         if not self.include_linear:
             return quadratic
         linear = conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)

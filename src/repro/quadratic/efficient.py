@@ -33,6 +33,7 @@ import numpy as np
 from ..nn import init
 from ..nn.module import Module, Parameter
 from ..tensor import Tensor, conv2d
+from ..tensor.fused import quadratic_conv2d, quadratic_response
 from .complexity import proposed_mac_count, proposed_parameter_count
 
 __all__ = ["EfficientQuadraticLinear", "EfficientQuadraticConv2d", "neurons_for_width"]
@@ -74,7 +75,14 @@ class EfficientQuadraticLinear(Module):
         Standard deviation of the (small) random initialization of Λᵏ.  The
         eigenvalues start near zero so the network begins close to its linear
         counterpart and the quadratic response grows during training.
+
+    The forward pass dispatches the fused ``quadratic_response`` op (one
+    graph node, hand-derived VJP); set ``use_fused = False`` to fall back to
+    the node-by-node composition of primitives, which produces bit-identical
+    outputs and gradients.
     """
+
+    use_fused = True
 
     def __init__(self, in_features: int, num_neurons: int, rank: int = 9,
                  vectorized_output: bool = True, bias: bool = True,
@@ -114,23 +122,31 @@ class EfficientQuadraticLinear(Module):
         if x.shape[-1] != self.in_features:
             raise ValueError(
                 f"expected input with {self.in_features} features, got {x.shape[-1]}")
+        if self.use_fused:
+            output = quadratic_response(
+                x, self.weight, self.q_weight, self.lambdas, self.bias,
+                rank=self.rank, vectorized=self.vectorized_output)
+        else:
+            output = self._forward_unfused(x)
+        if output.shape[-1] != self.out_features:
+            output = output[..., :self.out_features]
+        return output
+
+    def _forward_unfused(self, x: Tensor) -> Tensor:
+        """Reference composition of primitives (used by tests and benchmarks)."""
         batch_shape = x.shape[:-1]
         # fᵏ for every neuron: (..., num_neurons * rank)
         projections = x @ self.q_weight
         grouped = projections.reshape(*batch_shape, self.num_neurons, self.rank)
         # y₂ᵏ = (fᵏ)ᵀ Λᵏ fᵏ per neuron.
-        quadratic_response = (grouped * grouped * self.lambdas).sum(axis=-1)
+        quadratic = (grouped * grouped * self.lambdas).sum(axis=-1)
         linear_response = x @ self.weight.T
         if self.bias is not None:
             linear_response = linear_response + self.bias
-        response = linear_response + quadratic_response
+        response = linear_response + quadratic
         if not self.vectorized_output:
-            output = response
-        else:
-            output = Tensor.cat([response, projections], axis=-1)
-        if output.shape[-1] != self.out_features:
-            output = output[..., :self.out_features]
-        return output
+            return response
+        return Tensor.cat([response, projections], axis=-1)
 
     # -- introspection --------------------------------------------------------
 
@@ -176,7 +192,15 @@ class EfficientQuadraticConv2d(Module):
     ``fᵏ`` (Fig. 3).  ``out_channels`` may be used to trim the natural width
     ``num_filters * (rank + 1)`` down to an exact target so the layer is a
     drop-in replacement for a standard convolution.
+
+    The forward pass dispatches the fused ``quadratic_conv2d`` op: a single
+    im2col extraction and one matmul against the stacked filter bank
+    ``[w; Qᵏ]`` replace the two full convolutions (and two backward col2im
+    scatters) of the unfused composition, with bit-identical results.  Set
+    ``use_fused = False`` to fall back to the composition.
     """
+
+    use_fused = True
 
     def __init__(self, in_channels: int, num_filters: int, kernel_size: int,
                  stride: int = 1, padding: int = 0, rank: int = 9,
@@ -226,23 +250,32 @@ class EfficientQuadraticConv2d(Module):
                                  tag="quadratic")
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.use_fused:
+            output = quadratic_conv2d(
+                x, self.weight, self.q_weight, self.lambdas, self.bias,
+                stride=self.stride, padding=self.padding,
+                rank=self.rank, vectorized=self.vectorized_output)
+        else:
+            output = self._forward_unfused(x)
+        if output.shape[1] != self.out_channels:
+            output = output[:, :self.out_channels]
+        return output
+
+    def _forward_unfused(self, x: Tensor) -> Tensor:
+        """Reference composition of primitives (used by tests and benchmarks)."""
         batch = x.shape[0]
         # fᵏ maps: (N, num_filters * rank, H', W')
         projections = conv2d(x, self.q_weight, None, stride=self.stride, padding=self.padding)
         height, width = projections.shape[2], projections.shape[3]
         grouped = projections.reshape(batch, self.num_filters, self.rank, height, width)
         lambdas = self.lambdas.reshape(1, self.num_filters, self.rank, 1, 1)
-        quadratic_response = (grouped * grouped * lambdas).sum(axis=2)
+        quadratic = (grouped * grouped * lambdas).sum(axis=2)
         linear_response = conv2d(x, self.weight, self.bias, stride=self.stride,
                                  padding=self.padding)
-        response = linear_response + quadratic_response
+        response = linear_response + quadratic
         if not self.vectorized_output:
-            output = response
-        else:
-            output = Tensor.cat([response, projections], axis=1)
-        if output.shape[1] != self.out_channels:
-            output = output[:, :self.out_channels]
-        return output
+            return response
+        return Tensor.cat([response, projections], axis=1)
 
     # -- introspection --------------------------------------------------------
 

@@ -22,6 +22,7 @@ import numpy as np
 from ..nn import init
 from ..nn.module import Module, Parameter
 from ..tensor import Tensor, conv2d
+from ..tensor.fused import linear as fused_linear
 
 __all__ = ["KervolutionConv2d", "KervolutionLinear"]
 
@@ -94,7 +95,5 @@ class KervolutionLinear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        response = x @ self.weight.T
-        if self.bias is not None:
-            response = response + self.bias
+        response = fused_linear(x, self.weight, self.bias)
         return (response + self.offset) ** self.degree

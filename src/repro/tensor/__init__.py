@@ -1,15 +1,31 @@
 """Autograd tensor engine: the NumPy-based substrate for all models.
 
+The stack has three layers (see ARCHITECTURE.md at the repo root):
+
+* :mod:`repro.tensor.ops` — declarative op registry; every primitive is a
+  ``(name, forward, vjp, sample)`` record declared exactly once.
+* :mod:`repro.tensor.engine` — graph executor: dispatch, topological sort,
+  in-place gradient accumulation, per-op timing hooks.
+* :class:`Tensor` — thin user-facing wrapper dispatching through the engine.
+
 Public surface:
 
 * :class:`Tensor` — reverse-mode autodiff array.
 * :mod:`repro.tensor.functional` — softmax family, activations, losses.
 * :mod:`repro.tensor.conv_utils` — conv2d / unfold / pooling primitives.
-* :mod:`repro.tensor.grad_check` — finite-difference gradient verification.
+* :mod:`repro.tensor.fused` — fused composite kernels for the paper's
+  quadratic-neuron hot paths.
+* :mod:`repro.tensor.grad_check` — finite-difference gradient verification,
+  including a registry-driven sweep over every registered op.
 """
 
+from . import engine, ops
+from .engine import add_op_timing_hook, apply_op, remove_op_timing_hook
+from .ops import register_op, op_names, column_cache
 from .tensor import Tensor, no_grad, is_grad_enabled, unbroadcast, DEFAULT_DTYPE
 from . import functional
+from . import fused
+from .fused import linear, quadratic_conv2d, quadratic_form, quadratic_response
 from .conv_utils import (
     conv2d,
     unfold,
@@ -20,7 +36,12 @@ from .conv_utils import (
     col2im,
     conv_output_size,
 )
-from .grad_check import check_gradients, numerical_gradient, max_relative_error
+from .grad_check import (
+    check_gradients,
+    check_registered_ops,
+    numerical_gradient,
+    max_relative_error,
+)
 
 __all__ = [
     "Tensor",
@@ -28,7 +49,20 @@ __all__ = [
     "is_grad_enabled",
     "unbroadcast",
     "DEFAULT_DTYPE",
+    "engine",
+    "ops",
+    "apply_op",
+    "register_op",
+    "op_names",
+    "add_op_timing_hook",
+    "remove_op_timing_hook",
+    "column_cache",
     "functional",
+    "fused",
+    "linear",
+    "quadratic_form",
+    "quadratic_response",
+    "quadratic_conv2d",
     "conv2d",
     "unfold",
     "max_pool2d",
@@ -38,6 +72,7 @@ __all__ = [
     "col2im",
     "conv_output_size",
     "check_gradients",
+    "check_registered_ops",
     "numerical_gradient",
     "max_relative_error",
 ]

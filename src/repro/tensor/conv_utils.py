@@ -2,83 +2,34 @@
 
 All spatial operators work on tensors with layout ``(N, C, H, W)`` — batch,
 channels, height, width — matching the convention used throughout the paper's
-CNN experiments.  Forward passes are vectorized with
-``numpy.lib.stride_tricks.sliding_window_view``; backward passes scatter-add
-through an explicit ``col2im``.
+CNN experiments.  The array-level kernels (``im2col`` / ``col2im`` /
+``conv_output_size``) live in :mod:`repro.tensor.ops` next to the registered
+ops that use them and are re-exported here; the functions below are thin
+Tensor-level wrappers that dispatch through the graph executor.
+
+The ``conv2d`` op fuses im2col with the filter matmul and, in inference mode
+(``no_grad``), draws its column buffer from a shared cache
+(:data:`repro.tensor.ops.column_cache`) so repeated same-geometry
+convolutions do not reallocate the patch matrix.
 """
 
 from __future__ import annotations
 
-import numpy as np
-from numpy.lib.stride_tricks import sliding_window_view
-
+from .engine import apply_op
+from .ops import col2im, column_cache, conv_output_size, im2col  # noqa: F401  (re-exported)
 from .tensor import Tensor
 
 __all__ = [
     "conv_output_size",
     "im2col",
     "col2im",
+    "column_cache",
     "unfold",
     "conv2d",
     "max_pool2d",
     "avg_pool2d",
     "global_avg_pool2d",
 ]
-
-
-def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
-    """Spatial output size of a convolution along one dimension."""
-    return (size + 2 * padding - kernel) // stride + 1
-
-
-def _pad_input(x: np.ndarray, padding: int) -> np.ndarray:
-    if padding == 0:
-        return x
-    return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant")
-
-
-def im2col(x: np.ndarray, kernel_size: int, stride: int, padding: int) -> np.ndarray:
-    """Extract sliding patches from ``x``.
-
-    Parameters
-    ----------
-    x:
-        Array of shape ``(N, C, H, W)``.
-
-    Returns
-    -------
-    Array of shape ``(N, out_h, out_w, C * kernel_size * kernel_size)`` where
-    each row is a flattened receptive field.
-    """
-    padded = _pad_input(x, padding)
-    windows = sliding_window_view(padded, (kernel_size, kernel_size), axis=(2, 3))
-    windows = windows[:, :, ::stride, ::stride, :, :]
-    # (N, C, out_h, out_w, KH, KW) -> (N, out_h, out_w, C, KH, KW)
-    windows = windows.transpose(0, 2, 3, 1, 4, 5)
-    n, out_h, out_w = windows.shape[:3]
-    return np.ascontiguousarray(windows.reshape(n, out_h, out_w, -1))
-
-
-def col2im(cols: np.ndarray, input_shape: tuple, kernel_size: int, stride: int,
-           padding: int) -> np.ndarray:
-    """Inverse of :func:`im2col`: scatter-add patch values back to image layout.
-
-    ``cols`` has shape ``(N, out_h, out_w, C * kernel_size * kernel_size)`` and
-    the result has shape ``input_shape`` = ``(N, C, H, W)``.
-    """
-    n, channels, height, width = input_shape
-    out_h = conv_output_size(height, kernel_size, stride, padding)
-    out_w = conv_output_size(width, kernel_size, stride, padding)
-    cols = cols.reshape(n, out_h, out_w, channels, kernel_size, kernel_size)
-    padded = np.zeros((n, channels, height + 2 * padding, width + 2 * padding), dtype=cols.dtype)
-    for i in range(kernel_size):
-        row_end = i + stride * out_h
-        for j in range(kernel_size):
-            col_end = j + stride * out_w
-            padded[:, :, i:row_end:stride, j:col_end:stride] += cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
-    if padding == 0:
-        return padded
-    return padded[:, :, padding:padding + height, padding:padding + width]
 
 
 def unfold(x: Tensor, kernel_size: int, stride: int = 1, padding: int = 0) -> Tensor:
@@ -89,16 +40,7 @@ def unfold(x: Tensor, kernel_size: int, stride: int = 1, padding: int = 0) -> Te
     types that need explicit access to the receptive-field vector (for example
     the general quadratic neuron ``xᵀMx``).
     """
-    cols = im2col(x.data, kernel_size, stride, padding)
-    out = x._make_child(cols, (x,), "unfold")
-    if out.requires_grad:
-        input_shape = x.shape
-
-        def _backward(grad):
-            if x.requires_grad:
-                x._accumulate(col2im(grad, input_shape, kernel_size, stride, padding))
-        out._backward = _backward
-    return out
+    return apply_op("unfold", x, kernel_size=kernel_size, stride=stride, padding=padding)
 
 
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, stride: int = 1,
@@ -114,101 +56,19 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, stride: int = 
     bias:
         Optional bias of shape ``(C_out,)``.
     """
-    n, c_in, height, width = x.shape
-    c_out, c_in_w, k_h, k_w = weight.shape
-    if c_in != c_in_w:
-        raise ValueError(f"conv2d channel mismatch: input has {c_in}, weight expects {c_in_w}")
-    if k_h != k_w:
-        raise ValueError("conv2d only supports square kernels")
-    kernel_size = k_h
-    out_h = conv_output_size(height, kernel_size, stride, padding)
-    out_w = conv_output_size(width, kernel_size, stride, padding)
-
-    cols = im2col(x.data, kernel_size, stride, padding)          # (N, OH, OW, C*K*K)
-    flat_weight = weight.data.reshape(c_out, -1)                 # (C_out, C*K*K)
-    out_data = cols @ flat_weight.T                              # (N, OH, OW, C_out)
-    if bias is not None:
-        out_data = out_data + bias.data
-    out_data = np.ascontiguousarray(out_data.transpose(0, 3, 1, 2))
-
-    parents = (x, weight) if bias is None else (x, weight, bias)
-    out = x._make_child(out_data, parents, "conv2d")
-    if out.requires_grad:
-        input_shape = x.shape
-
-        def _backward(grad):
-            # grad: (N, C_out, OH, OW) -> (N, OH, OW, C_out)
-            grad_cols_view = grad.transpose(0, 2, 3, 1)
-            if weight.requires_grad:
-                grad_weight = np.einsum("nhwo,nhwi->oi", grad_cols_view, cols)
-                weight._accumulate(grad_weight.reshape(weight.shape))
-            if bias is not None and bias.requires_grad:
-                bias._accumulate(grad_cols_view.sum(axis=(0, 1, 2)))
-            if x.requires_grad:
-                grad_cols = grad_cols_view @ flat_weight          # (N, OH, OW, C*K*K)
-                x._accumulate(col2im(grad_cols, input_shape, kernel_size, stride, padding))
-        out._backward = _backward
-    return out
+    if bias is None:
+        return apply_op("conv2d", x, weight, stride=stride, padding=padding)
+    return apply_op("conv2d", x, weight, bias, stride=stride, padding=padding)
 
 
 def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
     """Max pooling with square windows (no padding)."""
-    stride = stride or kernel_size
-    n, channels, height, width = x.shape
-    out_h = conv_output_size(height, kernel_size, stride, 0)
-    out_w = conv_output_size(width, kernel_size, stride, 0)
-
-    windows = sliding_window_view(x.data, (kernel_size, kernel_size), axis=(2, 3))
-    windows = windows[:, :, ::stride, ::stride, :, :]
-    flat = windows.reshape(n, channels, out_h, out_w, -1)
-    argmax = flat.argmax(axis=-1)
-    out_data = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
-
-    out = x._make_child(out_data, (x,), "max_pool2d")
-    if out.requires_grad:
-        def _backward(grad):
-            if not x.requires_grad:
-                return
-            grad_input = np.zeros_like(x.data)
-            offsets_i, offsets_j = np.unravel_index(argmax, (kernel_size, kernel_size))
-            base_i = (np.arange(out_h) * stride)[None, None, :, None]
-            base_j = (np.arange(out_w) * stride)[None, None, None, :]
-            rows = base_i + offsets_i
-            cols_idx = base_j + offsets_j
-            n_idx = np.arange(n)[:, None, None, None]
-            c_idx = np.arange(channels)[None, :, None, None]
-            np.add.at(grad_input, (n_idx, c_idx, rows, cols_idx), grad)
-            x._accumulate(grad_input)
-        out._backward = _backward
-    return out
+    return apply_op("max_pool2d", x, kernel_size=kernel_size, stride=stride)
 
 
 def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
     """Average pooling with square windows (no padding)."""
-    stride = stride or kernel_size
-    n, channels, height, width = x.shape
-    out_h = conv_output_size(height, kernel_size, stride, 0)
-    out_w = conv_output_size(width, kernel_size, stride, 0)
-
-    windows = sliding_window_view(x.data, (kernel_size, kernel_size), axis=(2, 3))
-    windows = windows[:, :, ::stride, ::stride, :, :]
-    out_data = windows.mean(axis=(-2, -1))
-
-    out = x._make_child(out_data, (x,), "avg_pool2d")
-    if out.requires_grad:
-        scale = 1.0 / (kernel_size * kernel_size)
-
-        def _backward(grad):
-            if not x.requires_grad:
-                return
-            grad_input = np.zeros_like(x.data)
-            for i in range(kernel_size):
-                for j in range(kernel_size):
-                    grad_input[:, :, i:i + stride * out_h:stride,
-                               j:j + stride * out_w:stride] += grad * scale
-            x._accumulate(grad_input)
-        out._backward = _backward
-    return out
+    return apply_op("avg_pool2d", x, kernel_size=kernel_size, stride=stride)
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:

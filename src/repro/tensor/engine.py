@@ -1,0 +1,246 @@
+"""Graph executor for the declarative op registry.
+
+This module owns everything that happens *between* op definitions
+(:mod:`repro.tensor.ops`) and the user-facing :class:`~repro.tensor.Tensor`:
+
+* :func:`apply_op` — run a registered op's forward pass and wire the output
+  into the autograd graph (parents, op name, saved context).
+* :func:`backward` — topologically sort the graph below a root, drive each
+  node's VJP in reverse order, accumulate gradients **in place** into
+  preallocated buffers, and free interior gradients as soon as they have been
+  consumed.
+* The global gradient-mode switch (:class:`no_grad` / :func:`is_grad_enabled`)
+  that decides whether ``apply_op`` records graph structure at all.
+* Per-op timing hooks: :func:`add_op_timing_hook` registers a callable
+  ``hook(op_name, seconds)`` invoked for every forward (``"matmul"``) and
+  backward (``"matmul:backward"``) execution.  The aggregation side lives in
+  :mod:`repro.metrics.profiler`.
+
+Gradient accumulation strategy
+------------------------------
+Each tensor carries a ``_grad_owned`` flag.  The first gradient that reaches a
+node is stored by reference (no copy); when a node is known to have fan-in
+greater than one, the executor immediately promotes that first gradient to a
+privately-owned buffer so that every subsequent contribution is an in-place
+``+=`` rather than the ``grad = grad + g`` reallocation the engine used
+historically.  Ownership is dropped for gradients that outlive the backward
+pass (leaves and the root) so a later ``backward()`` never mutates arrays the
+caller may still hold.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from .ops import OPS, OpContext, get_op
+
+__all__ = [
+    "apply_op",
+    "backward",
+    "no_grad",
+    "is_grad_enabled",
+    "add_op_timing_hook",
+    "remove_op_timing_hook",
+]
+
+# Set by repro.tensor.tensor at import time; breaks the circular dependency
+# between the executor (which constructs Tensors) and the Tensor class (whose
+# methods dispatch through the executor).
+_TENSOR_CLS = None
+
+_GRAD_ENABLED = True
+
+_TIMING_HOOKS: list = []
+
+
+# ---------------------------------------------------------------------------
+# Gradient-mode switch (mirrors torch.no_grad()).
+# ---------------------------------------------------------------------------
+
+class no_grad:
+    """Context manager that disables graph construction.
+
+    Inside a ``with no_grad():`` block, operations on tensors do not record
+    backward state, which makes inference cheaper and prevents accidental
+    gradient accumulation during evaluation.  Nesting is supported; each
+    block restores the mode that was active when it was entered.
+    """
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+        return False
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` when operations record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+# ---------------------------------------------------------------------------
+# Timing hooks
+# ---------------------------------------------------------------------------
+
+def add_op_timing_hook(hook) -> None:
+    """Register ``hook(op_name, seconds)`` to observe every op execution.
+
+    Forward passes report under the op name, backward passes under
+    ``"<name>:backward"``.  Timing is only measured while at least one hook is
+    installed, so the zero-hook fast path stays free.
+    """
+    _TIMING_HOOKS.append(hook)
+
+
+def remove_op_timing_hook(hook) -> None:
+    """Unregister a hook added with :func:`add_op_timing_hook`."""
+    _TIMING_HOOKS.remove(hook)
+
+
+def _emit_timing(name: str, seconds: float) -> None:
+    for hook in _TIMING_HOOKS:
+        hook(name, seconds)
+
+
+# ---------------------------------------------------------------------------
+# Forward dispatch
+# ---------------------------------------------------------------------------
+
+def apply_op(name: str, *inputs, **kwargs):
+    """Execute registered op ``name`` on ``inputs`` and return a new Tensor.
+
+    Non-Tensor inputs (scalars, NumPy arrays) are wrapped as constant
+    tensors.  Non-array configuration (axes, strides, …) travels through
+    ``kwargs`` and is available to the VJP via the node's context.
+    """
+    opdef = get_op(name)
+    tensor_cls = _TENSOR_CLS
+    tensors = tuple(value if isinstance(value, tensor_cls) else tensor_cls(value)
+                    for value in inputs)
+    requires_grad = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    ctx = OpContext(tuple(t.data for t in tensors), kwargs, requires_grad)
+    if _TIMING_HOOKS:
+        start = perf_counter()
+        data = opdef.forward(ctx, *ctx.inputs, **kwargs)
+        _emit_timing(name, perf_counter() - start)
+    else:
+        data = opdef.forward(ctx, *ctx.inputs, **kwargs)
+    out = tensor_cls(data, requires_grad=requires_grad,
+                     _parents=tensors if requires_grad else (), _op=name)
+    if requires_grad:
+        out._ctx = ctx
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Backward execution
+# ---------------------------------------------------------------------------
+
+def _topological_order(root) -> list:
+    """Iterative post-order DFS over the graph reachable from ``root``."""
+    topo: list = []
+    visited: set[int] = set()
+    stack: list[tuple] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            topo.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    return topo
+
+
+def backward(root, grad: np.ndarray | None = None) -> None:
+    """Backpropagate from ``root`` to every reachable tensor requiring grad.
+
+    Parameters
+    ----------
+    root:
+        The tensor to differentiate.  Must have ``requires_grad=True``.
+    grad:
+        Gradient of the final objective with respect to ``root``.  May be
+        omitted only for scalar tensors, in which case it defaults to 1.
+    """
+    if not root.requires_grad:
+        raise RuntimeError("backward() called on a tensor that does not require grad")
+    if grad is None:
+        if root.data.size != 1:
+            raise RuntimeError("grad must be provided for non-scalar outputs")
+        grad = np.ones_like(root.data)
+    grad = np.asarray(grad, dtype=root.data.dtype)
+
+    topo = _topological_order(root)
+
+    # Fan-in census: how many gradient contributions each node will receive.
+    # Nodes with fan-in > 1 get a preallocated accumulation buffer on their
+    # first contribution so every later one is an in-place ``+=``.
+    fan_in: dict[int, int] = {}
+    for node in topo:
+        if node._ctx is not None or node._backward is not None:
+            for parent in node._parents:
+                fan_in[id(parent)] = fan_in.get(id(parent), 0) + 1
+
+    root._accumulate(grad, fan_in.get(id(root), 0) + 1)
+
+    # Arrays known to be referenced outside a single node's grad slot: the
+    # caller-supplied seed, and any gradient a VJP passed through by
+    # reference (same-shape ``add`` hands the output grad to both parents).
+    # Retained grads backed by one of these must be materialized below.
+    shared_ids: set[int] = {id(grad)}
+
+    timing = bool(_TIMING_HOOKS)
+    for node in reversed(topo):
+        node_grad = node.grad
+        if node_grad is None:
+            continue
+        if node._ctx is not None:
+            opdef = OPS[node._op]
+            needs = tuple(parent.requires_grad for parent in node._parents)
+            if timing:
+                start = perf_counter()
+                grads = opdef.vjp(node._ctx, node_grad, needs)
+                _emit_timing(node._op + ":backward", perf_counter() - start)
+            else:
+                grads = opdef.vjp(node._ctx, node_grad, needs)
+            for parent, parent_grad in zip(node._parents, grads):
+                if parent_grad is not None and parent.requires_grad:
+                    if parent_grad is node_grad:
+                        shared_ids.add(id(parent_grad))
+                    parent._accumulate(parent_grad, fan_in.get(id(parent), 1))
+        elif node._backward is not None:
+            # Legacy closure-style node (still supported for external code
+            # that wires graphs through Tensor._make_child by hand).
+            node._backward(node_grad)
+        # Interior nodes do not need to keep their gradient once it has been
+        # propagated; leaves (no parents) keep it for optimizers.
+        if node._parents and node is not root:
+            node.grad = None
+            node._grad_owned = False
+
+    # Gradients that survive the pass (root and leaves) are handed to user
+    # code, which may write them or hold them across steps — so they must be
+    # private, writable buffers.  VJPs are allowed to emit read-only
+    # broadcast views (``sum``) or pass the incoming gradient through by
+    # reference, which is fine for interior grads (freed above) but not for
+    # retained ones: materialize those.  Ownership is also dropped so a
+    # later backward() never mutates arrays the caller may still hold.
+    for node in topo:
+        retained = node.grad
+        if retained is not None:
+            if (retained.base is not None or not retained.flags.writeable
+                    or id(retained) in shared_ids):
+                node.grad = np.array(retained)
+            node._grad_owned = False

@@ -3,14 +3,18 @@
 These helpers cover numerically-stable softmax family operations, activations
 that are not simple methods of :class:`Tensor`, dropout, and utility encodings
 used by the loss functions and models.
+
+The softmax family and ``gelu`` dispatch to fused registry ops with
+hand-derived VJPs (one graph node each); the remaining helpers are genuine
+compositions of primitives.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy import special
 
-from .tensor import Tensor, is_grad_enabled
+from .engine import apply_op
+from .tensor import Tensor
 
 __all__ = [
     "softmax",
@@ -28,8 +32,7 @@ __all__ = [
 
 def logsumexp(logits: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
     """Numerically stable ``log(sum(exp(x)))`` along ``axis``."""
-    shift = Tensor(logits.data.max(axis=axis, keepdims=True))
-    stable = (logits - shift).exp().sum(axis=axis, keepdims=True).log() + shift
+    stable = apply_op("logsumexp", logits, axis=axis)
     if keepdims:
         return stable
     return stable.squeeze(axis if axis >= 0 else logits.ndim + axis)
@@ -37,35 +40,22 @@ def logsumexp(logits: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
 
 def softmax(logits: Tensor, axis: int = -1) -> Tensor:
     """Softmax along ``axis`` with max-subtraction for numerical stability."""
-    shift = Tensor(logits.data.max(axis=axis, keepdims=True))
-    exps = (logits - shift).exp()
-    return exps / exps.sum(axis=axis, keepdims=True)
+    return apply_op("softmax", logits, axis=axis)
 
 
 def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
     """Log-softmax along ``axis``."""
-    return logits - logsumexp(logits, axis=axis, keepdims=True)
+    return apply_op("log_softmax", logits, axis=axis)
 
 
 def gelu(x: Tensor) -> Tensor:
     """Gaussian error linear unit using the exact erf formulation.
 
     The forward pass is ``x * Phi(x)`` where ``Phi`` is the standard normal
-    CDF; the handwritten backward closure applies the exact derivative
+    CDF; the registered VJP applies the exact derivative
     ``Phi(x) + x * phi(x)``.
     """
-    cdf_values = 0.5 * (1.0 + special.erf(x.data / np.sqrt(2.0)))
-    value = x.data * cdf_values
-    out = x._make_child(value, (x,), "gelu")
-    if out.requires_grad:
-        pdf = np.exp(-0.5 * x.data ** 2) / np.sqrt(2.0 * np.pi)
-        local_grad = cdf_values + x.data * pdf
-
-        def _backward(grad):
-            if x.requires_grad:
-                x._accumulate(grad * local_grad)
-        out._backward = _backward
-    return out
+    return apply_op("gelu", x)
 
 
 def silu(x: Tensor) -> Tensor:

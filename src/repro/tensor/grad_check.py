@@ -4,6 +4,11 @@ Central finite differences are compared against the analytic gradients
 produced by :meth:`repro.tensor.Tensor.backward`.  The checker is used both in
 the test suite (to validate every primitive operation) and as a debugging tool
 for new layers.
+
+:func:`check_registered_ops` is the registry-driven mode: it sweeps **every**
+op registered in :mod:`repro.tensor.ops` using the op's own declared
+``sample`` inputs, so a newly registered primitive is gradient-checked
+automatically without touching any test list.
 """
 
 from __future__ import annotations
@@ -12,9 +17,12 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .engine import apply_op
+from .ops import OPS
 from .tensor import Tensor
 
-__all__ = ["numerical_gradient", "check_gradients", "max_relative_error"]
+__all__ = ["numerical_gradient", "check_gradients", "check_registered_ops",
+           "max_relative_error"]
 
 
 def numerical_gradient(func: Callable[[], Tensor], tensor: Tensor,
@@ -70,4 +78,59 @@ def check_gradients(func: Callable[[], Tensor], parameters: Sequence[Tensor],
             raise AssertionError(
                 f"gradient check failed for parameter {index}: relative error {error:.3e} "
                 f"exceeds tolerance {tolerance:.1e}")
+    return report
+
+
+def check_registered_ops(names: Sequence[str] | None = None, epsilon: float = 1e-5,
+                         tolerance: float = 1e-4, seed: int = 0) -> dict:
+    """Gradient-check every op in the registry against finite differences.
+
+    For each registered :class:`~repro.tensor.ops.OpDef`, the op's declared
+    ``sample`` builds float64 inputs (chosen to avoid non-differentiable
+    kinks); the objective contracts the op output with a fixed random
+    coefficient array so every output element influences the scalar loss.
+
+    Parameters
+    ----------
+    names:
+        Optional subset of op names to check; by default the whole registry
+        is swept.  Unknown names raise ``KeyError``.
+    epsilon, tolerance:
+        Forwarded to :func:`check_gradients`.
+    seed:
+        Seed of the sample-input generator.
+
+    Returns
+    -------
+    ``{op_name: max_relative_error}`` for every checked op.  Raises
+    ``AssertionError`` if an op has no sample (every registered op must
+    declare one) or if any gradient disagrees with finite differences.
+    """
+    if names is not None:
+        missing = [name for name in names if name not in OPS]
+        if missing:
+            raise KeyError(f"unknown ops requested: {missing}")
+    rng = np.random.default_rng(seed)
+    report: dict[str, float] = {}
+    for name in sorted(OPS):
+        if names is not None and name not in names:
+            continue
+        opdef = OPS[name]
+        if opdef.sample is None:
+            raise AssertionError(
+                f"op '{name}' declares no gradcheck sample; every registered op "
+                f"must provide one so the registry sweep stays exhaustive")
+        arrays, kwargs = opdef.sample(rng)
+        parameters = [Tensor(np.asarray(array, dtype=np.float64), requires_grad=True)
+                      for array in arrays]
+        probe = apply_op(name, *parameters, **kwargs)
+        coefficients = Tensor(rng.standard_normal(probe.shape))
+
+        def objective(name=name, parameters=parameters, kwargs=kwargs,
+                      coefficients=coefficients):
+            return (apply_op(name, *parameters, **kwargs) * coefficients).sum()
+
+        op_report = check_gradients(objective, parameters,
+                                    epsilon=epsilon, tolerance=tolerance)
+        report[name] = max(op_report.values()) if op_report else 0.0
     return report

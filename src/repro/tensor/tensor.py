@@ -1,78 +1,32 @@
 """Reverse-mode automatic differentiation over NumPy arrays.
 
-This module is the computational substrate of the reproduction.  The paper's
-experiments were run on PyTorch; since no deep-learning framework is available
-in this environment, we implement a small but complete autograd engine with the
-same programming model: a :class:`Tensor` wraps a NumPy array, records the
-operations applied to it, and :meth:`Tensor.backward` propagates gradients to
-every tensor created with ``requires_grad=True``.
+This module is the user-facing layer of the autograd stack.  The heavy
+lifting lives one level down:
 
-Every differentiable operation returns a new :class:`Tensor` whose
-``_backward`` closure knows how to push the output gradient to its parents.
-Gradients accumulate (sum) into ``Tensor.grad`` exactly like PyTorch's leaves.
+* :mod:`repro.tensor.ops` — the declarative op registry; every primitive
+  (forward + VJP + gradcheck sample) is declared exactly once.
+* :mod:`repro.tensor.engine` — the graph executor; owns dispatch
+  (:func:`~repro.tensor.engine.apply_op`), topological sorting, in-place
+  gradient accumulation, interior-gradient freeing, and per-op timing hooks.
 
-The engine supports full NumPy broadcasting; gradients of broadcast operands
-are reduced back to the operand's shape with :func:`unbroadcast`.
+:class:`Tensor` itself is deliberately thin: each operator method forwards to
+``engine.apply_op("<op>", ...)`` and :meth:`Tensor.backward` delegates to
+``engine.backward``.  The engine supports full NumPy broadcasting; gradients
+of broadcast operands are reduced back to the operand's shape with
+:func:`repro.tensor.ops.unbroadcast`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from . import engine
+from .engine import apply_op, is_grad_enabled, no_grad
+from .ops import unbroadcast
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast", "DEFAULT_DTYPE"]
 
 DEFAULT_DTYPE = np.float32
-
-# ---------------------------------------------------------------------------
-# Global gradient-mode switch (mirrors torch.no_grad()).
-# ---------------------------------------------------------------------------
-
-_GRAD_ENABLED = True
-
-
-class no_grad:
-    """Context manager that disables graph construction.
-
-    Inside a ``with no_grad():`` block, operations on tensors do not record
-    backward closures, which makes inference cheaper and prevents accidental
-    gradient accumulation during evaluation.
-    """
-
-    def __enter__(self):
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
-        return self
-
-    def __exit__(self, exc_type, exc_value, traceback):
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
-        return False
-
-
-def is_grad_enabled() -> bool:
-    """Return ``True`` when operations record the autograd graph."""
-    return _GRAD_ENABLED
-
-
-def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
-    """Reduce ``grad`` so that it has ``shape``.
-
-    When an operand was broadcast during the forward pass, its gradient must be
-    summed over the broadcast dimensions.  ``shape`` is the original operand
-    shape; ``grad`` has the (possibly larger) output shape.
-    """
-    if grad.shape == shape:
-        return grad
-    # Sum over leading dimensions that were added by broadcasting.
-    extra_dims = grad.ndim - len(shape)
-    if extra_dims > 0:
-        grad = grad.sum(axis=tuple(range(extra_dims)))
-    # Sum over dimensions that were broadcast from size 1.
-    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
-    if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
-    return grad.reshape(shape)
 
 
 def _as_array(value, dtype=None) -> np.ndarray:
@@ -87,7 +41,8 @@ def _as_array(value, dtype=None) -> np.ndarray:
 class Tensor:
     """A NumPy-backed tensor with reverse-mode automatic differentiation."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op",
+                 "_ctx", "_grad_owned")
 
     def __init__(self, data, requires_grad: bool = False, _parents: tuple = (), _op: str = ""):
         self.data = _as_array(data)
@@ -96,6 +51,8 @@ class Tensor:
         self._backward = None
         self._parents = _parents
         self._op = _op
+        self._ctx = None
+        self._grad_owned = False
 
     # -- constructors -------------------------------------------------------
 
@@ -145,7 +102,11 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() on tensor of size {self.data.size}; only size-1 tensors "
+                f"can be converted to a Python scalar (shape {self.shape})")
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but detached from the graph."""
@@ -156,6 +117,7 @@ class Tensor:
 
     def zero_grad(self) -> None:
         self.grad = None
+        self._grad_owned = False
 
     def __repr__(self) -> str:
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
@@ -167,18 +129,40 @@ class Tensor:
     # -- graph bookkeeping --------------------------------------------------
 
     def _make_child(self, data: np.ndarray, parents: tuple, op: str) -> "Tensor":
-        """Create an output tensor, wiring requires_grad from the parents."""
-        requires_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
-        child = Tensor(data, requires_grad=requires_grad,
-                       _parents=parents if requires_grad else (), _op=op)
-        return child
+        """Create an output tensor, wiring requires_grad from the parents.
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        grad = np.asarray(grad, dtype=self.data.dtype)
+        Retained for closure-style graph construction (set ``_backward`` on
+        the returned tensor by hand); everything in-tree dispatches through
+        :func:`repro.tensor.engine.apply_op` instead.
+        """
+        requires_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
+        return Tensor(data, requires_grad=requires_grad,
+                      _parents=parents if requires_grad else (), _op=op)
+
+    def _accumulate(self, grad: np.ndarray, fan_in: int = 1) -> None:
+        """Add ``grad`` into ``self.grad``.
+
+        The first contribution is stored by reference; when ``fan_in`` says
+        more are coming it is promoted to a privately-owned buffer so later
+        contributions are in-place ``+=`` instead of reallocating.
+        """
+        dtype = self.data.dtype
+        grad = np.asarray(grad)
+        owned = False
+        if grad.dtype != dtype:
+            grad = grad.astype(dtype)
+            owned = True
         if self.grad is None:
-            self.grad = grad.copy() if grad.base is not None or grad.flags.writeable is False else grad
+            if fan_in > 1 and not owned:
+                grad = grad.copy()
+                owned = True
+            self.grad = grad
+            self._grad_owned = owned
+        elif self._grad_owned:
+            self.grad += grad
         else:
             self.grad = self.grad + grad
+            self._grad_owned = True
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Backpropagate from this tensor to every reachable leaf.
@@ -189,263 +173,76 @@ class Tensor:
             Gradient of the final objective with respect to this tensor.  May
             be omitted only for scalar tensors, in which case it defaults to 1.
         """
-        if not self.requires_grad:
-            raise RuntimeError("backward() called on a tensor that does not require grad")
-        if grad is None:
-            if self.data.size != 1:
-                raise RuntimeError("grad must be provided for non-scalar outputs")
-            grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=self.data.dtype)
-
-        # Topological order of the graph reachable from self.
-        topo: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                topo.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
-                if id(parent) not in visited:
-                    stack.append((parent, False))
-
-        self._accumulate(grad)
-        for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
-                # Interior nodes do not need to keep their gradient once it has
-                # been propagated; leaves (no parents) keep it for optimizers.
-                if node._parents and node is not self:
-                    node.grad = None
+        engine.backward(self, grad)
 
     # -- arithmetic ---------------------------------------------------------
 
     def __add__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
-        out = self._make_child(self.data + other.data, (self, other), "add")
-        if out.requires_grad:
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(unbroadcast(grad, self.shape))
-                if other.requires_grad:
-                    other._accumulate(unbroadcast(grad, other.shape))
-            out._backward = _backward
-        return out
+        return apply_op("add", self, other)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        out = self._make_child(-self.data, (self,), "neg")
-        if out.requires_grad:
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(-grad)
-            out._backward = _backward
-        return out
+        return apply_op("neg", self)
 
     def __sub__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
-        return self + (-other)
+        return apply_op("sub", self, other)
 
     def __rsub__(self, other) -> "Tensor":
-        return (-self) + other
+        return apply_op("sub", other, self)
 
     def __mul__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
-        out = self._make_child(self.data * other.data, (self, other), "mul")
-        if out.requires_grad:
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(unbroadcast(grad * other.data, self.shape))
-                if other.requires_grad:
-                    other._accumulate(unbroadcast(grad * self.data, other.shape))
-            out._backward = _backward
-        return out
+        return apply_op("mul", self, other)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
-        out = self._make_child(self.data / other.data, (self, other), "div")
-        if out.requires_grad:
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(unbroadcast(grad / other.data, self.shape))
-                if other.requires_grad:
-                    other._accumulate(
-                        unbroadcast(-grad * self.data / (other.data ** 2), other.shape))
-            out._backward = _backward
-        return out
+        return apply_op("div", self, other)
 
     def __rtruediv__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
-        return other / self
+        return apply_op("div", other, self)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("Tensor.__pow__ only supports scalar exponents")
-        out = self._make_child(self.data ** exponent, (self,), "pow")
-        if out.requires_grad:
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(grad * exponent * self.data ** (exponent - 1))
-            out._backward = _backward
-        return out
+        return apply_op("pow", self, exponent=exponent)
 
     def __matmul__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
-        out = self._make_child(self.data @ other.data, (self, other), "matmul")
-        if out.requires_grad:
-            def _backward(grad):
-                a, b = self.data, other.data
-                if self.requires_grad:
-                    if a.ndim == 1 and b.ndim == 1:
-                        grad_a = grad * b
-                    elif b.ndim == 1:
-                        grad_a = grad[..., None] * b
-                    elif a.ndim == 1:
-                        grad_a = np.einsum("...ij,...j->i", b, grad)
-                    else:
-                        grad_a = grad @ np.swapaxes(b, -1, -2)
-                    self._accumulate(unbroadcast(grad_a, a.shape))
-                if other.requires_grad:
-                    if a.ndim == 1 and b.ndim == 1:
-                        grad_b = grad * a
-                    elif a.ndim == 1:
-                        grad_b = a[:, None] * grad[..., None, :]
-                    elif b.ndim == 1:
-                        grad_b = np.einsum("...ij,...i->j", a, grad)
-                    else:
-                        grad_b = np.swapaxes(a, -1, -2) @ grad
-                    other._accumulate(unbroadcast(grad_b, b.shape))
-            out._backward = _backward
-        return out
+        return apply_op("matmul", self, other)
 
     # -- elementwise functions ----------------------------------------------
 
     def exp(self) -> "Tensor":
-        value = np.exp(self.data)
-        out = self._make_child(value, (self,), "exp")
-        if out.requires_grad:
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(grad * value)
-            out._backward = _backward
-        return out
+        return apply_op("exp", self)
 
     def log(self) -> "Tensor":
-        out = self._make_child(np.log(self.data), (self,), "log")
-        if out.requires_grad:
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(grad / self.data)
-            out._backward = _backward
-        return out
+        return apply_op("log", self)
 
     def sqrt(self) -> "Tensor":
-        value = np.sqrt(self.data)
-        out = self._make_child(value, (self,), "sqrt")
-        if out.requires_grad:
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(grad * 0.5 / value)
-            out._backward = _backward
-        return out
+        return apply_op("sqrt", self)
 
     def abs(self) -> "Tensor":
-        out = self._make_child(np.abs(self.data), (self,), "abs")
-        if out.requires_grad:
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(grad * np.sign(self.data))
-            out._backward = _backward
-        return out
+        return apply_op("abs", self)
 
     def tanh(self) -> "Tensor":
-        value = np.tanh(self.data)
-        out = self._make_child(value, (self,), "tanh")
-        if out.requires_grad:
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(grad * (1.0 - value ** 2))
-            out._backward = _backward
-        return out
+        return apply_op("tanh", self)
 
     def sigmoid(self) -> "Tensor":
-        value = 1.0 / (1.0 + np.exp(-self.data))
-        out = self._make_child(value, (self,), "sigmoid")
-        if out.requires_grad:
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(grad * value * (1.0 - value))
-            out._backward = _backward
-        return out
+        return apply_op("sigmoid", self)
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out = self._make_child(self.data * mask, (self,), "relu")
-        if out.requires_grad:
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(grad * mask)
-            out._backward = _backward
-        return out
+        return apply_op("relu", self)
 
     def clip(self, min_value: float | None = None, max_value: float | None = None) -> "Tensor":
-        value = np.clip(self.data, min_value, max_value)
-        out = self._make_child(value, (self,), "clip")
-        if out.requires_grad:
-            inside = np.ones_like(self.data, dtype=bool)
-            if min_value is not None:
-                inside &= self.data >= min_value
-            if max_value is not None:
-                inside &= self.data <= max_value
-
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(grad * inside)
-            out._backward = _backward
-        return out
+        return apply_op("clip", self, min_value=min_value, max_value=max_value)
 
     def maximum(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
-        value = np.maximum(self.data, other.data)
-        out = self._make_child(value, (self, other), "maximum")
-        if out.requires_grad:
-            self_wins = self.data >= other.data
-
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(unbroadcast(grad * self_wins, self.shape))
-                if other.requires_grad:
-                    other._accumulate(unbroadcast(grad * (~self_wins), other.shape))
-            out._backward = _backward
-        return out
+        return apply_op("maximum", self, other)
 
     # -- reductions ----------------------------------------------------------
 
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        value = self.data.sum(axis=axis, keepdims=keepdims)
-        out = self._make_child(value, (self,), "sum")
-        if out.requires_grad:
-            def _backward(grad):
-                if not self.requires_grad:
-                    return
-                if axis is None:
-                    expanded = np.broadcast_to(grad, self.shape)
-                else:
-                    grad_local = grad
-                    if not keepdims:
-                        grad_local = np.expand_dims(grad_local, axis=axis)
-                    expanded = np.broadcast_to(grad_local, self.shape)
-                self._accumulate(expanded)
-            out._backward = _backward
-        return out
+        return apply_op("sum", self, axis=axis, keepdims=keepdims)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -461,26 +258,7 @@ class Tensor:
         return (centered * centered).mean(axis=axis, keepdims=keepdims)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        value = self.data.max(axis=axis, keepdims=keepdims)
-        out = self._make_child(value, (self,), "max")
-        if out.requires_grad:
-            def _backward(grad):
-                if not self.requires_grad:
-                    return
-                if axis is None:
-                    mask = (self.data == self.data.max()).astype(self.data.dtype)
-                    mask /= mask.sum()
-                    self._accumulate(mask * grad)
-                else:
-                    max_keep = self.data.max(axis=axis, keepdims=True)
-                    mask = (self.data == max_keep).astype(self.data.dtype)
-                    mask /= mask.sum(axis=axis, keepdims=True)
-                    grad_local = grad
-                    if not keepdims:
-                        grad_local = np.expand_dims(grad_local, axis=axis)
-                    self._accumulate(mask * grad_local)
-            out._backward = _backward
-        return out
+        return apply_op("max", self, axis=axis, keepdims=keepdims)
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
         return -((-self).max(axis=axis, keepdims=keepdims))
@@ -490,13 +268,7 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out = self._make_child(self.data.reshape(shape), (self,), "reshape")
-        if out.requires_grad:
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(grad.reshape(self.shape))
-            out._backward = _backward
-        return out
+        return apply_op("reshape", self, shape=shape)
 
     def flatten(self, start_dim: int = 0) -> "Tensor":
         new_shape = self.shape[:start_dim] + (-1,)
@@ -507,15 +279,7 @@ class Tensor:
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
-        out = self._make_child(self.data.transpose(axes), (self,), "transpose")
-        if out.requires_grad:
-            inverse = np.argsort(axes)
-
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(grad.transpose(inverse))
-            out._backward = _backward
-        return out
+        return apply_op("transpose", self, axes=axes)
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         axes = list(range(self.ndim))
@@ -523,74 +287,31 @@ class Tensor:
         return self.transpose(*axes)
 
     def expand_dims(self, axis: int) -> "Tensor":
-        out = self._make_child(np.expand_dims(self.data, axis), (self,), "expand_dims")
-        if out.requires_grad:
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(np.squeeze(grad, axis=axis))
-            out._backward = _backward
-        return out
+        return apply_op("expand_dims", self, axis=axis)
 
     def squeeze(self, axis: int) -> "Tensor":
-        out = self._make_child(np.squeeze(self.data, axis=axis), (self,), "squeeze")
-        if out.requires_grad:
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(np.expand_dims(grad, axis=axis))
-            out._backward = _backward
-        return out
+        return apply_op("squeeze", self, axis=axis)
 
     def __getitem__(self, index) -> "Tensor":
         index = index.data.astype(np.int64) if isinstance(index, Tensor) else index
-        out = self._make_child(self.data[index], (self,), "getitem")
-        if out.requires_grad:
-            def _backward(grad):
-                if self.requires_grad:
-                    full = np.zeros_like(self.data)
-                    np.add.at(full, index, grad)
-                    self._accumulate(full)
-            out._backward = _backward
-        return out
+        return apply_op("getitem", self, index=index)
 
     def pad(self, pad_width, constant_value: float = 0.0) -> "Tensor":
-        out = self._make_child(
-            np.pad(self.data, pad_width, mode="constant", constant_values=constant_value),
-            (self,), "pad")
-        if out.requires_grad:
-            slices = tuple(slice(before, before + size)
-                           for (before, _after), size in zip(pad_width, self.shape))
-
-            def _backward(grad):
-                if self.requires_grad:
-                    self._accumulate(grad[slices])
-            out._backward = _backward
-        return out
+        return apply_op("pad", self, pad_width=pad_width, constant_value=constant_value)
 
     # -- composition helpers --------------------------------------------------
 
     @staticmethod
     def cat(tensors: list["Tensor"], axis: int = 0) -> "Tensor":
         """Concatenate tensors along ``axis`` (differentiable)."""
-        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
-        data = np.concatenate([t.data for t in tensors], axis=axis)
-        requires_grad = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
-        out = Tensor(data, requires_grad=requires_grad,
-                     _parents=tuple(tensors) if requires_grad else (), _op="cat")
-        if requires_grad:
-            sizes = [t.shape[axis] for t in tensors]
-            offsets = np.cumsum([0] + sizes)
-
-            def _backward(grad):
-                for tensor, start, end in zip(tensors, offsets[:-1], offsets[1:]):
-                    if tensor.requires_grad:
-                        slicer = [slice(None)] * grad.ndim
-                        slicer[axis] = slice(int(start), int(end))
-                        tensor._accumulate(grad[tuple(slicer)])
-            out._backward = _backward
-        return out
+        return apply_op("cat", *tensors, axis=axis)
 
     @staticmethod
     def stack(tensors: list["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
         expanded = [t.expand_dims(axis) for t in tensors]
         return Tensor.cat(expanded, axis=axis)
+
+
+# Hand the executor its output class (resolves the engine <-> tensor cycle).
+engine._TENSOR_CLS = Tensor

@@ -55,7 +55,25 @@ class Trainer:
         self.diverged = False
         self.divergence_epoch: int | None = None
 
-    # -- single epoch -----------------------------------------------------------
+    # -- single step / epoch ----------------------------------------------------
+
+    def _optimize_batch(self, batch_inputs, batch_targets):
+        """One optimization step: forward, divergence guard, backward, clip, step.
+
+        Returns ``(loss_value, logits, stepped)``; ``stepped`` is ``False``
+        when the loss diverged, in which case no parameter update is applied.
+        """
+        self.optimizer.zero_grad()
+        logits = self.model(Tensor(batch_inputs))
+        loss = self.loss_fn(logits, batch_targets)
+        loss_value = float(loss.data)
+        if not math.isfinite(loss_value) or loss_value > self.divergence_threshold:
+            return loss_value, logits, False
+        loss.backward()
+        if self.grad_clip is not None:
+            self.optimizer.clip_grad_norm(self.grad_clip)
+        self.optimizer.step()
+        return loss_value, logits, True
 
     def train_epoch(self, loader: DataLoader) -> dict:
         """Run one epoch of optimization; returns mean loss and accuracy."""
@@ -64,19 +82,12 @@ class Trainer:
         total_correct = 0.0
         total_examples = 0
         for batch_inputs, batch_targets in loader:
-            self.optimizer.zero_grad()
-            logits = self.model(Tensor(batch_inputs))
-            loss = self.loss_fn(logits, batch_targets)
-            loss_value = float(loss.data)
-            if not math.isfinite(loss_value) or loss_value > self.divergence_threshold:
+            loss_value, logits, stepped = self._optimize_batch(batch_inputs, batch_targets)
+            if not stepped:
                 self.diverged = True
                 total_loss += loss_value if math.isfinite(loss_value) else float("inf")
                 total_examples += len(batch_targets)
                 break
-            loss.backward()
-            if self.grad_clip is not None:
-                self.optimizer.clip_grad_norm(self.grad_clip)
-            self.optimizer.step()
             batch_size = len(batch_targets)
             total_loss += loss_value * batch_size
             total_correct += accuracy(logits, batch_targets) * batch_size
@@ -84,6 +95,31 @@ class Trainer:
         mean_loss = total_loss / max(total_examples, 1)
         mean_accuracy = total_correct / max(total_examples, 1)
         return {"loss": mean_loss, "accuracy": mean_accuracy, "diverged": self.diverged}
+
+    # -- profiling ----------------------------------------------------------------
+
+    def profile_ops(self, loader: DataLoader, num_batches: int = 1):
+        """Time every autograd op over a few full training steps.
+
+        Runs ``num_batches`` optimization steps — through the same
+        :meth:`_optimize_batch` path as :meth:`train_epoch`, so gradient
+        clipping and the divergence guard still apply — with the graph
+        executor's per-op timing hooks enabled, and returns the aggregated
+        :class:`repro.metrics.OpTimeTable` (forward entries under the op
+        name, backward entries under ``"<name>:backward"``).  Useful for
+        spotting which kernels dominate a model's step time.
+        """
+        from ..metrics.profiler import record_op_times
+
+        self.model.train()
+        with record_op_times() as table:
+            for index, (batch_inputs, batch_targets) in enumerate(loader):
+                if index >= num_batches:
+                    break
+                _, _, stepped = self._optimize_batch(batch_inputs, batch_targets)
+                if not stepped:
+                    break
+        return table
 
     # -- evaluation ---------------------------------------------------------------
 

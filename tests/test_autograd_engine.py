@@ -1,0 +1,360 @@
+"""Tests for the op registry, graph executor, and fused quadratic kernels.
+
+Covers the autograd edge cases the engine must honour (nested no_grad,
+mixed-dimension unbroadcast, double backward, diamond graphs), the registry
+contract (every op declares a VJP and a gradcheck sample), per-op timing
+hooks, and the bit-level equivalence of the fused quadratic hot-path kernels
+with their unfused compositions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics.profiler import record_op_times, _find_rule
+from repro.nn.layers import Conv2d, Linear
+from repro.quadratic import EfficientQuadraticConv2d, EfficientQuadraticLinear
+from repro.tensor import (
+    Tensor,
+    apply_op,
+    column_cache,
+    is_grad_enabled,
+    no_grad,
+    op_names,
+    unbroadcast,
+)
+from repro.tensor.ops import OPS
+
+
+class TestGradMode:
+    def test_nested_no_grad_restores_each_level(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            # Leaving the inner block must keep gradients disabled.
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_nested_no_grad_blocks_graph_at_every_depth(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            with no_grad():
+                inner = x * 2
+            outer = x * 3
+        assert not inner.requires_grad and not outer.requires_grad
+        assert inner._parents == () and outer._parents == ()
+
+
+class TestUnbroadcastMixed:
+    def test_added_dims_and_size_one_dims_together(self):
+        # grad (4, 2, 3) -> shape (1, 3): sum over the added leading dim AND
+        # the size-1 broadcast dim in one call.
+        grad = np.ones((4, 2, 3))
+        reduced = unbroadcast(grad, (1, 3))
+        assert reduced.shape == (1, 3)
+        np.testing.assert_allclose(reduced, np.full((1, 3), 8.0))
+
+    def test_mixed_through_real_ops(self):
+        a = Tensor(np.ones((1, 3), dtype=np.float64), requires_grad=True)
+        b = Tensor(np.ones((4, 2, 3), dtype=np.float64), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (1, 3)
+        np.testing.assert_allclose(a.grad, np.full((1, 3), 8.0))
+        assert b.grad.shape == (4, 2, 3)
+
+
+class TestBackwardSemantics:
+    def test_double_backward_accumulates_into_leaves(self):
+        # Fresh graphs per call: plain accumulation into the leaf.
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 3).sum().backward()
+        first = x.grad.copy()
+        (x * 3).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * first)
+
+    def test_double_backward_same_root_compounds_root_grad(self):
+        # Historical engine semantics: the root retains its gradient, so a
+        # second backward() on the SAME root accumulates 1 into the root
+        # first (root grad 1 -> 2) and pushes the doubled gradient down:
+        # leaf receives 3, then 2 * 3 on the second pass.
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (x * 3).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [3.0, 3.0])
+        y.backward()
+        np.testing.assert_allclose(y.grad, 2.0)
+        np.testing.assert_allclose(x.grad, [9.0, 9.0])
+
+    def test_double_backward_does_not_mutate_retained_grad_array(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = (x * 2).sum()
+        y.backward()
+        retained = x.grad
+        snapshot = retained.copy()
+        y.backward()
+        # The previously handed-out array must not have been written in place.
+        np.testing.assert_allclose(retained, snapshot)
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        # z = left + right with both arms sharing the subgraph y = x * x:
+        #   dz/dx = d(y*3)/dx + d(y*2)/dx = 5 * 2x = 30 at x = 3.
+        x = Tensor([3.0], requires_grad=True)
+        y = x * x
+        z = (y * 3 + y * 2).sum()
+        z.backward()
+        np.testing.assert_allclose(x.grad, [30.0])
+
+    def test_deep_diamond_shared_subgraph(self):
+        x = Tensor(np.arange(1.0, 5.0), requires_grad=True)
+        shared = (x * 2).tanh()
+        left = (shared * shared).sum()
+        right = shared.sum()
+        (left + right).backward()
+        t = np.tanh(2 * x.data)
+        expected = (2 * t + 1) * (1 - t ** 2) * 2
+        np.testing.assert_allclose(x.grad, expected, rtol=1e-6)
+
+    def test_interior_gradients_are_freed(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        hidden = x * 2
+        out = (hidden * 3).sum()
+        out.backward()
+        assert hidden.grad is None          # interior: freed after propagation
+        assert out.grad is not None          # root keeps its gradient
+        assert x.grad is not None            # leaf keeps its gradient
+
+    def test_leaf_grads_are_private_and_writable(self):
+        # sum's VJP emits a read-only broadcast view; the retained leaf grad
+        # must be materialized into a private writable buffer.
+        w = Tensor(np.ones(3, dtype=np.float64), requires_grad=True)
+        w.sum().backward()
+        assert w.grad.flags.writeable
+        w.grad[0] = 5.0          # user code may mutate .grad in place
+        assert w.grad[0] == 5.0
+
+    def test_leaf_grad_does_not_alias_caller_gradient(self):
+        w = Tensor(np.ones(3, dtype=np.float64), requires_grad=True)
+        out = w.sum()
+        seed_grad = np.ones((), dtype=np.float64)
+        out.backward(seed_grad)
+        seed_grad[...] = 100.0
+        np.testing.assert_allclose(w.grad, [1.0, 1.0, 1.0])
+
+    def test_sibling_leaf_grads_do_not_share_storage(self):
+        # Same-shape add passes the gradient through by reference to both
+        # parents; each retained leaf grad must still be a private buffer.
+        a = Tensor(np.ones(3, dtype=np.float64), requires_grad=True)
+        b = Tensor(np.ones(3, dtype=np.float64), requires_grad=True)
+        seed = np.full(3, 2.0)
+        (a + b).backward(seed)
+        assert a.grad is not b.grad
+        assert a.grad is not seed and b.grad is not seed
+        a.grad[0] = 99.0
+        seed[...] = -1.0
+        np.testing.assert_allclose(b.grad, [2.0, 2.0, 2.0])
+
+    def test_backward_through_same_parent_twice(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * x).sum()                    # x appears twice as parent
+        y.backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+
+class TestRegistryContract:
+    def test_every_op_declares_vjp_and_sample(self):
+        for name in op_names():
+            opdef = OPS[name]
+            assert opdef.vjp is not None, f"op '{name}' lacks a VJP"
+            assert opdef.sample is not None, f"op '{name}' lacks a gradcheck sample"
+
+    def test_core_primitives_are_registered(self):
+        registered = set(op_names())
+        for expected in ["add", "mul", "div", "pow", "matmul", "exp", "log", "sum",
+                         "max", "transpose", "reshape", "getitem",
+                         "conv2d", "unfold", "softmax", "log_softmax",
+                         "quadratic_response", "quadratic_conv2d"]:
+            assert expected in registered, f"missing op '{expected}'"
+
+    def test_unknown_op_raises_with_listing(self):
+        with pytest.raises(KeyError, match="unknown op"):
+            apply_op("definitely_not_an_op", Tensor([1.0]))
+
+    def test_duplicate_registration_rejected(self):
+        from repro.tensor.ops import register_op
+        with pytest.raises(ValueError, match="already registered"):
+            register_op("add", lambda ctx, a: a, lambda ctx, g, n: (g,))
+
+
+class TestTimingHooks:
+    def test_forward_and_backward_ops_are_timed(self):
+        x = Tensor(np.ones((4, 4)), requires_grad=True)
+        with record_op_times() as table:
+            ((x @ x).relu().sum()).backward()
+        assert table.calls["matmul"] == 1
+        assert table.calls["matmul:backward"] == 1
+        assert table.calls["relu"] == 1
+        assert table.grand_total >= 0.0
+        rows = table.as_rows()
+        assert rows and {"op", "seconds", "calls", "mean_microseconds"} <= set(rows[0])
+        assert "matmul" in table.summary()
+
+    def test_hooks_removed_after_context(self):
+        from repro.tensor import engine
+        with record_op_times():
+            pass
+        assert engine._TIMING_HOOKS == []
+
+
+class TestItemError:
+    def test_item_on_size_one(self):
+        assert Tensor([[3.5]]).item() == pytest.approx(3.5)
+
+    def test_item_on_larger_tensor_raises_clear_error(self):
+        with pytest.raises(ValueError, match=r"item\(\) on tensor of size 6"):
+            Tensor(np.zeros((2, 3))).item()
+
+
+class TestProfilerRuleMatching:
+    def test_subclasses_of_profiled_layers_match(self):
+        class MyConv(Conv2d):
+            pass
+
+        class MyLinear(Linear):
+            pass
+
+        assert _find_rule(MyConv(3, 8, 3)) is _find_rule(Conv2d(3, 8, 3))
+        assert _find_rule(MyLinear(4, 2)) is _find_rule(Linear(4, 2))
+
+    def test_most_derived_rule_wins(self):
+        from repro.quadratic.baselines import GeneralQuadraticConv2d, PureQuadraticConv2d
+        from repro.quadratic.complexity import neuron_complexity
+        # PureQuadraticConv2d subclasses GeneralQuadraticConv2d; it must match
+        # its own "pure" rule (no linear-term MACs) rather than the general
+        # base-class rule or — as before the fix — being silently skipped.
+        pure = PureQuadraticConv2d(2, 3, 3, rng=np.random.default_rng(0))
+        general = GeneralQuadraticConv2d(2, 3, 3, rng=np.random.default_rng(0))
+        pure_rule, general_rule = _find_rule(pure), _find_rule(general)
+        assert pure_rule is not None and pure_rule is not general_rule
+        output = Tensor(np.zeros((1, 3, 4, 4), dtype=np.float32))
+        fan_in = 2 * 3 * 3
+        per_position = 4 * 4 * 3
+        assert pure_rule(pure, output) == \
+            per_position * neuron_complexity("pure", fan_in, 1).macs
+        assert general_rule(general, output) == \
+            per_position * neuron_complexity("general", fan_in, 1).macs
+
+
+def _dense_pair(vectorized, seed=0):
+    layer = EfficientQuadraticLinear(6, 3, rank=2, vectorized_output=vectorized,
+                                     lambda_init=0.3, rng=np.random.default_rng(seed))
+    for parameter in layer.parameters():
+        parameter.data = parameter.data.astype(np.float64)
+    x = Tensor(np.random.default_rng(seed + 1).standard_normal((5, 6)), requires_grad=True)
+    return layer, x
+
+
+def _conv_pair(vectorized, seed=0):
+    layer = EfficientQuadraticConv2d(2, 2, 3, padding=1, rank=2,
+                                     vectorized_output=vectorized, lambda_init=0.3,
+                                     rng=np.random.default_rng(seed))
+    for parameter in layer.parameters():
+        parameter.data = parameter.data.astype(np.float64)
+    x = Tensor(np.random.default_rng(seed + 1).standard_normal((2, 2, 5, 5)),
+               requires_grad=True)
+    return layer, x
+
+
+class TestFusedEquivalence:
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_dense_forward_matches_unfused(self, vectorized):
+        layer, x = _dense_pair(vectorized)
+        fused = layer(x)
+        unfused = layer._forward_unfused(x)
+        np.testing.assert_allclose(fused.data, unfused.data, atol=1e-5, rtol=0)
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_dense_gradients_match_unfused(self, vectorized):
+        layer, x = _dense_pair(vectorized)
+        weights = np.random.default_rng(7).standard_normal(layer(x).shape)
+
+        def grads(forward):
+            for parameter in layer.parameters():
+                parameter.zero_grad()
+            x.zero_grad()
+            (forward(x) * Tensor(weights)).sum().backward()
+            return [x.grad.copy()] + [p.grad.copy() for p in layer.parameters()]
+
+        fused_grads = grads(layer)
+        unfused_grads = grads(layer._forward_unfused)
+        assert len(fused_grads) == len(unfused_grads)
+        for fused_grad, unfused_grad in zip(fused_grads, unfused_grads):
+            np.testing.assert_allclose(fused_grad, unfused_grad, atol=1e-5, rtol=1e-6)
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_conv_forward_matches_unfused(self, vectorized):
+        layer, x = _conv_pair(vectorized)
+        fused = layer(x)
+        unfused = layer._forward_unfused(x)
+        np.testing.assert_allclose(fused.data, unfused.data, atol=1e-5, rtol=0)
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_conv_gradients_match_unfused(self, vectorized):
+        layer, x = _conv_pair(vectorized)
+        weights = np.random.default_rng(8).standard_normal(layer(x).shape)
+
+        def grads(forward):
+            for parameter in layer.parameters():
+                parameter.zero_grad()
+            x.zero_grad()
+            (forward(x) * Tensor(weights)).sum().backward()
+            return [x.grad.copy()] + [p.grad.copy() for p in layer.parameters()]
+
+        fused_grads = grads(layer)
+        unfused_grads = grads(layer._forward_unfused)
+        for fused_grad, unfused_grad in zip(fused_grads, unfused_grads):
+            np.testing.assert_allclose(fused_grad, unfused_grad, atol=1e-5, rtol=1e-6)
+
+    def test_trimmed_output_width_preserved(self):
+        layer = EfficientQuadraticLinear.for_output_features(
+            6, 8, rank=2, rng=np.random.default_rng(3))
+        out = layer(Tensor(np.zeros((2, 6), dtype=np.float32)))
+        assert out.shape == (2, 8)
+
+
+class TestColumnCache:
+    def test_inference_conv_reuses_column_buffer(self):
+        column_cache.clear()
+        hits_before = column_cache.hits
+        conv = Conv2d(3, 4, 3, padding=1, rng=np.random.default_rng(0))
+        conv.eval()
+        x = Tensor(np.random.default_rng(1).standard_normal((2, 3, 8, 8)).astype(np.float32))
+        with no_grad():
+            first = conv(x)
+            second = conv(x)
+        assert column_cache.hits > hits_before
+        np.testing.assert_allclose(first.data, second.data)
+
+    def test_cache_is_bounded_by_entries_and_bytes_with_lru_eviction(self):
+        from repro.tensor.ops import ColumnBufferCache
+        cache = ColumnBufferCache(max_entries=2, max_bytes=10_000)
+        cache.get((10, 10), np.float32)       # 400 B
+        cache.get((20, 20), np.float32)       # 1600 B
+        cache.get((30, 30), np.float32)       # 3600 B -> evicts (10, 10) (LRU)
+        assert len(cache._buffers) == 2
+        cache.get((20, 20), np.float32)       # hit; refreshes recency
+        assert cache.hits == 1
+        # A buffer bigger than max_bytes is handed out but never retained.
+        big = cache.get((60, 60), np.float64)  # 28.8 kB > max_bytes
+        assert big.shape == (60, 60)
+        assert all(buf.nbytes <= 10_000 for buf in cache._buffers.values())
+        assert cache.total_bytes <= 10_000
+
+    def test_training_conv_does_not_touch_cache(self):
+        column_cache.clear()
+        misses_before = column_cache.misses
+        conv = Conv2d(3, 4, 3, padding=1, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).standard_normal((2, 3, 8, 8)).astype(np.float32),
+                   requires_grad=True)
+        conv(x).sum().backward()
+        assert column_cache.misses == misses_before

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.tensor import Tensor, check_gradients, max_relative_error, numerical_gradient
+from repro.tensor import (
+    Tensor,
+    check_gradients,
+    check_registered_ops,
+    max_relative_error,
+    numerical_gradient,
+    op_names,
+)
 from repro.tensor import functional as F
 
 
@@ -151,3 +158,23 @@ def test_check_gradients_raises_on_missing_gradient():
     unused = _tensor((2, 2), seed=12)
     with pytest.raises(AssertionError):
         check_gradients(lambda: (used * 2).sum(), [unused])
+
+
+# ---------------------------------------------------------------------------
+# Registry-driven sweep: every registered op, no hand-picked list.
+# ---------------------------------------------------------------------------
+
+def test_registry_sweep_covers_every_registered_op():
+    report = check_registered_ops(tolerance=1e-4)
+    assert sorted(report) == op_names()
+    assert max(report.values()) < 1e-4
+
+
+def test_registry_sweep_accepts_subset():
+    report = check_registered_ops(names=["matmul", "quadratic_response"])
+    assert sorted(report) == ["matmul", "quadratic_response"]
+
+
+def test_registry_sweep_rejects_unknown_name():
+    with pytest.raises(KeyError):
+        check_registered_ops(names=["not_a_real_op"])

@@ -55,6 +55,32 @@ class TestTrainer:
         assert losses[-1] < losses[0]
         assert history.last("train_accuracy") > 0.8
 
+    def test_profile_ops_times_training_steps(self):
+        inputs, targets = _toy_classification()
+        model = MLPClassifier(8, 2, hidden_sizes=(16,), seed=0)
+        trainer = self._trainer(model)
+        loader = DataLoader(inputs, targets, batch_size=32, seed=0)
+        table = trainer.profile_ops(loader, num_batches=2)
+        # The MLP forward runs through the fused linear op; its backward must
+        # have been timed too, and the hook must be gone afterwards.
+        assert table.calls["linear"] >= 2
+        assert table.calls["linear:backward"] >= 2
+        assert table.grand_total > 0.0
+        from repro.tensor import engine
+        assert engine._TIMING_HOOKS == []
+
+    def test_profile_ops_respects_divergence_guard(self):
+        inputs, targets = _toy_classification()
+        model = MLPClassifier(8, 2, hidden_sizes=(16,), seed=0)
+        trainer = self._trainer(model)
+        trainer.divergence_threshold = 1e-9   # every batch "diverges"
+        before = [p.data.copy() for p in model.parameters()]
+        trainer.profile_ops(DataLoader(inputs, targets, batch_size=32, seed=0),
+                            num_batches=2)
+        # No optimizer step may be applied to a diverged model during profiling.
+        for parameter, snapshot in zip(model.parameters(), before):
+            np.testing.assert_array_equal(parameter.data, snapshot)
+
     def test_evaluate_returns_loss_and_accuracy(self):
         inputs, targets = _toy_classification()
         model = MLPClassifier(8, 2, hidden_sizes=(8,), seed=1)
