@@ -13,12 +13,16 @@ The package is organised bottom-up:
 * :mod:`repro.data`        — synthetic CIFAR/ImageNet/WMT14 stand-ins,
   augmentation and loaders.
 * :mod:`repro.metrics`     — accuracy, BLEU, parameter/MAC profiler.
-* :mod:`repro.training`    — classification and seq2seq training loops.
+* :mod:`repro.io`          — versioned checkpoints and JSON serialization.
+* :mod:`repro.training`    — classification and seq2seq training loops,
+  checkpoint/resume, best-model tracking and early stopping.
 * :mod:`repro.analysis`    — parameter-distribution, response and stability analyses.
-* :mod:`repro.experiments` — one driver per table/figure of the paper.
+* :mod:`repro.experiments` — declarative registry of paper artifacts plus a
+  caching runner (one spec per table/figure).
+* :mod:`repro.cli`         — ``python -m repro {list,run,bench}``.
 """
 
-from . import analysis, data, experiments, metrics, models, nn, optim, quadratic, tensor
+from . import analysis, data, experiments, io, metrics, models, nn, optim, quadratic, tensor
 from . import training
 from .quadratic import (
     EfficientQuadraticConv2d,
@@ -29,12 +33,13 @@ from .quadratic import (
 )
 from .tensor import Tensor
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
     "data",
     "experiments",
+    "io",
     "metrics",
     "models",
     "nn",

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro {list,run,bench}``.
+
+* ``list``  — show every registered experiment and its cached artifacts.
+* ``run``   — execute one or more experiments (or ``all``) through the shared
+  caching runner; unchanged configurations are cache hits, so an interrupted
+  sweep resumes where it stopped.
+* ``bench`` — time experiments (cache bypassed) and print a wall-clock table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .experiments import get_scale
+from .experiments.registry import all_specs, experiment_names, get_spec
+from .experiments.reporting import format_table
+from .experiments.runner import default_cache_dir, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the paper's tables and figures through the "
+                    "declarative experiment registry.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_cache_dir(subparser):
+        subparser.add_argument("--cache-dir", default=None,
+                               help="artifact cache directory (default: "
+                                    "$REPRO_ARTIFACTS or ./artifacts)")
+
+    list_parser = commands.add_parser(
+        "list", help="list registered experiments and cached artifacts")
+    add_cache_dir(list_parser)
+    list_parser.set_defaults(handler=_command_list)
+
+    run_parser = commands.add_parser(
+        "run", help="run experiments through the caching runner")
+    add_cache_dir(run_parser)
+    run_parser.add_argument("experiments", nargs="+",
+                            help="experiment names, or 'all'")
+    run_parser.add_argument("--scale", default="bench",
+                            help="scale preset: smoke, bench or paper (default: bench)")
+    run_parser.add_argument("--resume", dest="resume", action="store_true", default=True,
+                            help="reuse cached artifacts so an interrupted sweep "
+                                 "continues where it left off (default)")
+    run_parser.add_argument("--no-resume", dest="resume", action="store_false",
+                            help="ignore cached artifacts for this invocation")
+    run_parser.add_argument("--force", action="store_true",
+                            help="recompute and overwrite cached artifacts")
+    run_parser.add_argument("--quiet", action="store_true",
+                            help="suppress per-experiment reports")
+    run_parser.set_defaults(handler=_command_run)
+
+    bench_parser = commands.add_parser(
+        "bench", help="time experiments end-to-end (bypasses the cache)")
+    add_cache_dir(bench_parser)
+    bench_parser.add_argument("experiments", nargs="*",
+                              help="experiment names (default: all)")
+    bench_parser.add_argument("--scale", default="smoke",
+                              help="scale preset to time at (default: smoke)")
+    bench_parser.add_argument("--json", dest="json_path", default=None,
+                              help="also write the timing table to this JSON file")
+    bench_parser.set_defaults(handler=_command_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _cache_dir(args) -> Path:
+    return Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+
+
+def _resolve_names(requested: list[str]) -> list[str]:
+    if requested == ["all"] or requested == []:
+        return experiment_names()
+    for name in requested:
+        get_spec(name)  # raises with the available names on a typo
+    return requested
+
+
+def _command_list(args) -> int:
+    cache_dir = _cache_dir(args)
+    rows = []
+    for spec in all_specs():
+        cached = sorted(cache_dir.glob(f"{spec.name}-*.json"))
+        rows.append({
+            "name": spec.name,
+            "artifact": spec.artifact,
+            "scaled": "yes" if spec.uses_scale else "no",
+            "cached": len(cached),
+            "title": spec.title,
+        })
+    print(format_table(rows, columns=["name", "artifact", "scaled", "cached", "title"]))
+    print(f"\n{len(rows)} experiments registered; artifact cache: {cache_dir}")
+    return 0
+
+
+def _print_reports(spec, result: dict) -> None:
+    for key in spec.report_keys:
+        section = result.get(key)
+        if isinstance(section, str):
+            print(section)
+        elif isinstance(section, dict) and isinstance(section.get("report"), str):
+            print(f"[{key}]")
+            print(section["report"])
+
+
+def _command_run(args) -> int:
+    names = _resolve_names(args.experiments)
+    scale = get_scale(args.scale)
+    cache_dir = _cache_dir(args)
+    for name in names:
+        spec = get_spec(name)
+        outcome = run_experiment(name, scale=scale, cache_dir=cache_dir,
+                                 force=args.force, use_cache=args.resume)
+        status = "cached" if outcome.cache_hit else f"ran in {outcome.elapsed_seconds:.1f}s"
+        print(f"== {spec.artifact} ({name}) @ {outcome.scale}: {status} "
+              f"-> {outcome.path}")
+        if not args.quiet:
+            _print_reports(spec, outcome.result)
+    return 0
+
+
+def _command_bench(args) -> int:
+    names = _resolve_names(args.experiments)
+    scale = get_scale(args.scale)
+    cache_dir = _cache_dir(args)
+    rows = []
+    for name in names:
+        outcome = run_experiment(name, scale=scale, cache_dir=cache_dir, force=True)
+        rows.append({"experiment": name, "scale": outcome.scale,
+                     "seconds": outcome.elapsed_seconds})
+        print(f"{name}: {outcome.elapsed_seconds:.2f}s")
+    table = format_table(rows, columns=["experiment", "scale", "seconds"])
+    print()
+    print(table)
+    if args.json_path:
+        Path(args.json_path).write_text(json.dumps(rows, indent=2))
+        print(f"wrote {args.json_path}")
+    return 0

@@ -23,6 +23,12 @@ class DataLoader:
     augmentation:
         Optional callable ``f(batch_inputs, rng) -> batch_inputs`` applied to
         every batch (training-time data augmentation).
+
+    Shuffling and augmentation draw from *separate* RNG streams
+    (:attr:`shuffle_rng` / :attr:`augment_rng`), so the epoch's example order
+    is identical whether or not augmentation is enabled — which keeps ablation
+    runs comparable — and :meth:`state_dict`/:meth:`load_state_dict` expose
+    both streams so an interrupted run can resume with bit-identical batches.
     """
 
     def __init__(self, inputs: np.ndarray, targets: np.ndarray, batch_size: int = 32,
@@ -37,7 +43,14 @@ class DataLoader:
         self.shuffle = shuffle
         self.augmentation = augmentation
         self.drop_last = drop_last
-        self.rng = np.random.default_rng(seed)
+        self.seed = seed
+        self.shuffle_rng = np.random.default_rng(seed)
+        self.augment_rng = np.random.default_rng(seed + 1)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """Backwards-compatible alias for the shuffle stream."""
+        return self.shuffle_rng
 
     def __len__(self) -> int:
         full, remainder = divmod(len(self.inputs), self.batch_size)
@@ -48,7 +61,7 @@ class DataLoader:
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         order = np.arange(len(self.inputs))
         if self.shuffle:
-            self.rng.shuffle(order)
+            self.shuffle_rng.shuffle(order)
         for start in range(0, len(order), self.batch_size):
             batch_indices = order[start:start + self.batch_size]
             if self.drop_last and len(batch_indices) < self.batch_size:
@@ -56,5 +69,17 @@ class DataLoader:
             batch_inputs = self.inputs[batch_indices]
             batch_targets = self.targets[batch_indices]
             if self.augmentation is not None:
-                batch_inputs = self.augmentation(batch_inputs, self.rng)
+                batch_inputs = self.augmentation(batch_inputs, self.augment_rng)
             yield batch_inputs, batch_targets
+
+    # -- resume support ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of both RNG streams (taken between epochs for resume)."""
+        return {"shuffle_rng": self.shuffle_rng.bit_generator.state,
+                "augment_rng": self.augment_rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore both RNG streams from a :meth:`state_dict` snapshot."""
+        self.shuffle_rng.bit_generator.state = state["shuffle_rng"]
+        self.augment_rng.bit_generator.state = state["augment_rng"]

@@ -16,7 +16,9 @@ Module       Paper artifact
 
 from . import ablation, fig4, fig5, fig6, fig7, fig8, table1, table2
 from .config import ExperimentScale, SCALES, get_scale
+from .registry import ExperimentSpec, all_specs, experiment_names, get_spec, register
 from .reporting import format_table, format_percentage, relative_change
+from .runner import ExperimentOutcome, config_hash, run_experiment, run_many
 
 __all__ = [
     "ablation",
@@ -30,6 +32,15 @@ __all__ = [
     "ExperimentScale",
     "SCALES",
     "get_scale",
+    "ExperimentSpec",
+    "register",
+    "get_spec",
+    "experiment_names",
+    "all_specs",
+    "ExperimentOutcome",
+    "config_hash",
+    "run_experiment",
+    "run_many",
     "format_table",
     "format_percentage",
     "relative_change",

@@ -79,6 +79,13 @@ def run(scale: ExperimentScale | None = None) -> dict:
     }
 
 
+from .registry import register
+
+register(name="ablation", artifact="Ablation",
+         title="Decomposition-rank sweep and vectorized-output ablation",
+         runner=run, report_keys=("rank_sweep", "vectorized_output"))
+
+
 def main(scale_name: str = "bench") -> None:
     """Command-line entry point: print both ablation tables."""
     result = run(get_scale(scale_name))

@@ -117,6 +117,13 @@ def paper_scale_costs(depths: tuple[int, ...] = (20, 32, 44, 56, 110), rank: int
     return rows
 
 
+from .registry import register
+
+register(name="fig4", artifact="Fig. 4",
+         title="Linear vs proposed ResNets: accuracy against parameters/MACs",
+         runner=run)
+
+
 def main(scale_name: str = "bench") -> None:
     """Command-line entry point: print the Fig. 4 reproduction tables."""
     result = run(get_scale(scale_name))

@@ -87,6 +87,13 @@ def _savings_vs_baselines(rows: list[dict], depths: tuple[int, ...]) -> list[dic
     return savings
 
 
+from .registry import register
+
+register(name="fig5", artifact="Fig. 5",
+         title="Proposed neuron vs prior quadratic neurons (Quad-1 / Quad-2)",
+         runner=run)
+
+
 def main(scale_name: str = "bench") -> None:
     """Command-line entry point: print the Fig. 5 reproduction tables."""
     result = run(get_scale(scale_name))

@@ -88,6 +88,13 @@ def run(scale: ExperimentScale | None = None) -> dict:
     }
 
 
+from .registry import register
+
+register(name="fig6", artifact="Fig. 6",
+         title="Training stability: proposed neuron vs kervolutional KNN-n",
+         runner=run)
+
+
 def main(scale_name: str = "bench") -> None:
     """Command-line entry point: print the Fig. 6 stability comparison."""
     result = run(get_scale(scale_name))

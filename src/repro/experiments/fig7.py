@@ -69,6 +69,13 @@ def run(scale: ExperimentScale | None = None, depth: int | None = None) -> dict:
     }
 
 
+from .registry import register
+
+register(name="fig7", artifact="Fig. 7",
+         title="Per-layer distribution of linear vs quadratic parameters",
+         runner=run)
+
+
 def main(scale_name: str = "bench") -> None:
     """Command-line entry point: print the Fig. 7 parameter-distribution summary."""
     result = run(get_scale(scale_name))

@@ -80,6 +80,13 @@ def run(scale: ExperimentScale | None = None, num_images: int = 4) -> dict:
     }
 
 
+from .registry import register
+
+register(name="fig8", artifact="Fig. 8",
+         title="Linear vs quadratic neuron response frequency analysis",
+         runner=run)
+
+
 def main(scale_name: str = "bench") -> None:
     """Command-line entry point: print the Fig. 8 response analysis."""
     result = run(get_scale(scale_name))

@@ -1,0 +1,162 @@
+"""Shared experiment runner with content-addressed artifact caching.
+
+One runner executes every registered :class:`~repro.experiments.registry.ExperimentSpec`.
+Before running, the experiment's configuration — spec name + spec version +
+the full :class:`~repro.experiments.config.ExperimentScale` — is hashed; the
+JSON artifact is cached under ``<cache_dir>/<name>-<scale>-<hash12>.json``.
+A second invocation with an unchanged configuration is a cache hit and skips
+the (expensive) training entirely, which makes sweeps incremental: interrupt
+``run all`` at any point and re-running resumes where it left off, and
+changing any scale knob (or bumping ``spec.version``) changes the hash and
+transparently invalidates only the affected artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..io.serialization import to_jsonable
+from .config import ExperimentScale, get_scale
+from .registry import ExperimentSpec, get_spec
+
+__all__ = ["ExperimentOutcome", "config_hash", "artifact_path",
+           "run_experiment", "run_many", "default_cache_dir"]
+
+#: Version of the artifact JSON layout (not of any single experiment).
+ARTIFACT_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Artifact cache root: ``$REPRO_ARTIFACTS`` or ``./artifacts``."""
+    return Path(os.environ.get("REPRO_ARTIFACTS", "artifacts"))
+
+
+@dataclass
+class ExperimentOutcome:
+    """Result of one :func:`run_experiment` call.
+
+    ``artifact`` is the JSON structure written to / read from ``path``:
+    ``{"meta": {...}, "result": <sanitized driver result>}``.  ``cache_hit``
+    tells whether the driver actually ran; ``elapsed_seconds`` is 0.0 for
+    cache hits.
+    """
+
+    name: str
+    scale: str
+    config_hash: str
+    path: Path
+    cache_hit: bool
+    elapsed_seconds: float
+    artifact: dict
+
+    @property
+    def result(self) -> dict:
+        return self.artifact["result"]
+
+
+def resolve_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    if isinstance(scale, ExperimentScale):
+        return scale
+    return get_scale(scale)
+
+
+def config_hash(spec: ExperimentSpec, scale: ExperimentScale) -> str:
+    """SHA-256 over the experiment's full configuration (name, version, scale)."""
+    config = {
+        "experiment": spec.name,
+        "spec_version": spec.version,
+        "scale": to_jsonable(asdict(scale)) if spec.uses_scale else None,
+    }
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def artifact_path(cache_dir: Path, spec: ExperimentSpec, scale: ExperimentScale,
+                  digest: str) -> Path:
+    # Scale-independent experiments get one artifact regardless of the sweep's
+    # --scale, matching their scale-independent config hash.
+    scale_tag = scale.name if spec.uses_scale else "noscale"
+    return Path(cache_dir) / f"{spec.name}-{scale_tag}-{digest[:12]}.json"
+
+
+def _read_artifact(path: Path) -> dict | None:
+    """Load a cached artifact; ``None`` (→ cache miss) if unreadable or from a
+    different artifact-format version, so layout changes recompute instead of
+    serving stale structures."""
+    try:
+        artifact = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if artifact.get("meta", {}).get("format_version") != ARTIFACT_FORMAT_VERSION:
+        return None
+    return artifact
+
+
+def run_experiment(name: str, scale: str | ExperimentScale = "bench",
+                   cache_dir: str | Path | None = None,
+                   force: bool = False, use_cache: bool = True) -> ExperimentOutcome:
+    """Run one registered experiment, reusing its cached artifact when possible.
+
+    ``force`` (or ``use_cache=False``) bypasses the cache check; the fresh
+    artifact still overwrites the cache entry so later runs benefit.
+    """
+    spec = get_spec(name)
+    scale = resolve_scale(scale)
+    cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    digest = config_hash(spec, scale)
+    path = artifact_path(cache_dir, spec, scale, digest)
+
+    if use_cache and not force and path.exists():
+        artifact = _read_artifact(path)
+        if artifact is not None:
+            return ExperimentOutcome(name=name, scale=scale.name, config_hash=digest,
+                                     path=path, cache_hit=True, elapsed_seconds=0.0,
+                                     artifact=artifact)
+
+    start = time.perf_counter()
+    result = spec.runner(scale) if spec.uses_scale else spec.runner()
+    elapsed = time.perf_counter() - start
+
+    artifact = {
+        "meta": {
+            "experiment": spec.name,
+            "artifact": spec.artifact,
+            "title": spec.title,
+            "scale": scale.name,
+            "config_hash": digest,
+            "spec_version": spec.version,
+            "format_version": ARTIFACT_FORMAT_VERSION,
+            "elapsed_seconds": elapsed,
+        },
+        "result": to_jsonable(result),
+    }
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    temp_path = path.with_name(path.name + ".tmp")
+    temp_path.write_text(json.dumps(artifact, indent=2))
+    os.replace(temp_path, path)
+    return ExperimentOutcome(name=name, scale=scale.name, config_hash=digest,
+                             path=path, cache_hit=False, elapsed_seconds=elapsed,
+                             artifact=artifact)
+
+
+def run_many(names: list[str], scale: str | ExperimentScale = "bench",
+             cache_dir: str | Path | None = None, force: bool = False,
+             use_cache: bool = True, progress=None) -> list[ExperimentOutcome]:
+    """Run several experiments in sequence (incrementally, via the cache).
+
+    ``progress`` is an optional callable receiving each
+    :class:`ExperimentOutcome` as it completes.
+    """
+    outcomes = []
+    for name in names:
+        outcome = run_experiment(name, scale=scale, cache_dir=cache_dir,
+                                 force=force, use_cache=use_cache)
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return outcomes

@@ -85,6 +85,13 @@ def verify_against_layers(n: int = 27, k: int = 9, out_features: int = 5) -> lis
     return results
 
 
+from .registry import register
+
+register(name="table1", artifact="Table I",
+         title="Neuron parameter/MAC complexity (symbolic counts vs layers)",
+         runner=run, uses_scale=False)
+
+
 def main() -> None:
     """Command-line entry point: print the regenerated Table I."""
     result = run()

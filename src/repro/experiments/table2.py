@@ -136,6 +136,13 @@ def run(scale: ExperimentScale | None = None) -> dict:
     }
 
 
+from .registry import register
+
+register(name="table2", artifact="Table II",
+         title="Transformer translation BLEU and parameter cost",
+         runner=run)
+
+
 def main(scale_name: str = "bench") -> None:
     """Command-line entry point: print the Table II reproduction."""
     result = run(get_scale(scale_name))

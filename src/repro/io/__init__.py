@@ -1,0 +1,20 @@
+"""Serialization substrate: versioned checkpoints and JSON-safe conversion.
+
+* :mod:`repro.io.checkpoint`     — ``.npz``-based training checkpoints covering
+  model parameters/buffers, optimizer state, scheduler state, data-loader RNG
+  state and training history.
+* :mod:`repro.io.serialization`  — lossy-but-safe conversion of arbitrary
+  experiment results into JSON-serializable structures (used by the artifact
+  cache and by :class:`repro.training.History`).
+"""
+
+from .checkpoint import CHECKPOINT_VERSION, Checkpoint, load_checkpoint, save_checkpoint
+from .serialization import to_jsonable
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "to_jsonable",
+]

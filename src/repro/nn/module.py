@@ -117,21 +117,47 @@ class Module:
         state.update({f"buffer::{name}": buffer.copy() for name, buffer in self.named_buffers()})
         return state
 
-    def load_state_dict(self, state: dict) -> None:
+    def load_state_dict(self, state: dict, strict: bool = True) -> tuple[list, list]:
+        """Load parameters and buffers from a :meth:`state_dict` snapshot.
+
+        With ``strict`` (the default) the state must cover the module exactly:
+        a ``KeyError`` listing *both* the missing and the unexpected keys is
+        raised otherwise — a silent partial load would let a truncated or
+        mismatched checkpoint go unnoticed.  With ``strict=False`` the
+        intersection is loaded and ``(missing_keys, unexpected_keys)`` is
+        returned for the caller to inspect.
+        """
         parameters = dict(self.named_parameters())
-        buffers = list(self._iter_buffer_owners())
-        for name, value in state.items():
-            if name.startswith("buffer::"):
-                buffer_name = name[len("buffer::"):]
-                for owner_prefix, owner in buffers:
-                    local = buffer_name[len(owner_prefix):] if buffer_name.startswith(owner_prefix) else None
-                    if local is not None and local in owner._buffers:
-                        owner._buffers[local][...] = value
-                        break
-            elif name in parameters:
-                parameters[name].data[...] = value
+        buffer_targets: dict[str, tuple[Module, str]] = {}
+        for owner_prefix, owner in self._iter_buffer_owners():
+            for local in owner._buffers:
+                buffer_targets[f"buffer::{owner_prefix}{local}"] = (owner, local)
+
+        expected = set(parameters) | set(buffer_targets)
+        provided = set(state)
+        missing = sorted(expected - provided)
+        unexpected = sorted(provided - expected)
+        if strict and (missing or unexpected):
+            raise KeyError(f"state dict does not match module: "
+                           f"missing keys {missing}, unexpected keys {unexpected}")
+
+        # Validate every shape before mutating anything, so a mismatch never
+        # leaves the module half-loaded.
+        writes = []
+        for name in sorted(provided & expected):
+            value = np.asarray(state[name])
+            if name in parameters:
+                target = parameters[name].data
             else:
-                raise KeyError(f"unexpected key in state dict: {name}")
+                owner, local = buffer_targets[name]
+                target = owner._buffers[local]
+            if tuple(value.shape) != tuple(target.shape):
+                raise ValueError(f"shape mismatch for {name!r}: state has {value.shape}, "
+                                 f"module has {target.shape}")
+            writes.append((target, value))
+        for target, value in writes:
+            target[...] = value
+        return missing, unexpected
 
     def _iter_buffer_owners(self, prefix: str = ""):
         if self._buffers:

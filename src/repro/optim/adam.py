@@ -16,7 +16,6 @@ class Adam(Optimizer):
                  eps: float = 1e-9, weight_decay: float = 0.0):
         defaults = {"lr": lr, "betas": betas, "eps": eps, "weight_decay": weight_decay}
         super().__init__(parameters, defaults)
-        self._state: dict[int, dict] = {}
 
     def step(self) -> None:
         for group in self.param_groups:
@@ -30,11 +29,13 @@ class Adam(Optimizer):
                 grad = parameter.grad
                 if weight_decay:
                     grad = grad + weight_decay * parameter.data
-                state = self._state.setdefault(id(parameter), {
-                    "step": 0,
-                    "m": np.zeros_like(parameter.data),
-                    "v": np.zeros_like(parameter.data),
-                })
+                state = self._param_state(parameter)
+                if not state:
+                    state.update({
+                        "step": 0,
+                        "m": np.zeros_like(parameter.data),
+                        "v": np.zeros_like(parameter.data),
+                    })
                 state["step"] += 1
                 state["m"] = beta1 * state["m"] + (1 - beta1) * grad
                 state["v"] = beta2 * state["v"] + (1 - beta2) * grad * grad

@@ -32,6 +32,19 @@ class LRScheduler:
     def current_lrs(self) -> list[float]:
         return [group["lr"] for group in self.optimizer.param_groups]
 
+    def state_dict(self) -> dict:
+        """Serializable snapshot: step counter plus the base learning rates."""
+        return {"last_step": self.last_step, "base_lrs": list(self.base_lrs)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the step counter and re-apply the schedule to the optimizer."""
+        self.last_step = int(state["last_step"])
+        self.base_lrs = [float(lr) for lr in state["base_lrs"]]
+        if self.last_step > 0:
+            factor = self.get_factor(self.last_step)
+            for group, base_lr in zip(self.optimizer.param_groups, self.base_lrs):
+                group["lr"] = base_lr * factor
+
 
 class MultiStepLR(LRScheduler):
     """Multiply the LR by ``gamma`` each time a milestone epoch is passed."""

@@ -17,11 +17,20 @@ __all__ = ["Optimizer", "split_parameter_groups"]
 
 
 class Optimizer:
-    """Base optimizer managing parameter groups and gradient clearing."""
+    """Base optimizer managing parameter groups, per-parameter state and clearing.
+
+    Subclasses keep all per-parameter state (momentum buffers, Adam moments,
+    step counts) in :attr:`state` via :meth:`_param_state`, which makes
+    :meth:`state_dict`/:meth:`load_state_dict` work uniformly: state is
+    serialized keyed by the parameter's position in :meth:`parameters`, so a
+    checkpoint can be restored into a freshly built optimizer as long as the
+    model architecture (and therefore the parameter order) is unchanged.
+    """
 
     def __init__(self, parameters, defaults: dict):
         self.defaults = dict(defaults)
         self.param_groups: list[dict] = []
+        self.state: dict[int, dict] = {}
         parameters = list(parameters)
         if parameters and isinstance(parameters[0], dict):
             for group in parameters:
@@ -50,13 +59,74 @@ class Optimizer:
         total_norm = float(np.sqrt(sum(float((g.astype(np.float64) ** 2).sum()) for g in grads)))
         if total_norm > max_norm and total_norm > 0:
             scale = max_norm / total_norm
-            for parameter in self.parameters():
-                if parameter.grad is not None:
-                    parameter.grad = parameter.grad * scale
+            for grad in grads:
+                grad *= scale
         return total_norm
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # -- per-parameter state and serialization ----------------------------------
+
+    def _param_state(self, parameter: Parameter) -> dict:
+        """Mutable state slot for one parameter (created on first access)."""
+        return self.state.setdefault(id(parameter), {})
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot: per-parameter state + group hyperparameters.
+
+        Per-parameter state is keyed by the parameter's index in
+        :meth:`parameters` (object identities do not survive a process
+        restart).  Group hyperparameters include the *current* learning rates,
+        so a scheduler-decayed LR is restored exactly.
+        """
+        parameters = self.parameters()
+        state = {}
+        for index, parameter in enumerate(parameters):
+            per_param = self.state.get(id(parameter))
+            if per_param:
+                state[str(index)] = {
+                    key: value.copy() if isinstance(value, np.ndarray) else value
+                    for key, value in per_param.items()}
+        groups = []
+        for group in self.param_groups:
+            saved = {key: value for key, value in group.items() if key != "params"}
+            saved["num_params"] = len(group["params"])
+            groups.append(saved)
+        return {"state": state, "param_groups": groups}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this optimizer.
+
+        The optimizer must have been constructed over the same parameter
+        structure (same group count and sizes) as the one that was saved.
+        """
+        saved_groups = state["param_groups"]
+        if len(saved_groups) != len(self.param_groups):
+            raise ValueError(f"state dict has {len(saved_groups)} parameter groups, "
+                             f"optimizer has {len(self.param_groups)}")
+        for group, saved in zip(self.param_groups, saved_groups):
+            expected = saved.get("num_params", len(group["params"]))
+            if expected != len(group["params"]):
+                raise ValueError(f"parameter group size mismatch: state dict has "
+                                 f"{expected}, optimizer has {len(group['params'])}")
+            group.update({key: _restore_hyper(value) for key, value in saved.items()
+                          if key != "num_params"})
+        parameters = self.parameters()
+        self.state = {}
+        for key, per_param in state["state"].items():
+            index = int(key)
+            if not 0 <= index < len(parameters):
+                raise ValueError(f"state dict refers to parameter index {index}, "
+                                 f"optimizer only has {len(parameters)} parameters")
+            self.state[id(parameters[index])] = {
+                name: np.array(value) if isinstance(value, (np.ndarray, list)) else value
+                for name, value in per_param.items()}
+
+
+def _restore_hyper(value):
+    """Hyperparameters round-tripped through JSON come back as lists."""
+    return tuple(value) if isinstance(value, list) else value
 
 
 def split_parameter_groups(model: Module, base_lr: float, quadratic_lr: float,

@@ -21,7 +21,6 @@ class SGD(Optimizer):
         defaults = {"lr": lr, "momentum": momentum, "weight_decay": weight_decay,
                     "nesterov": nesterov}
         super().__init__(parameters, defaults)
-        self._velocity: dict[int, np.ndarray] = {}
 
     def step(self) -> None:
         for group in self.param_groups:
@@ -36,10 +35,11 @@ class SGD(Optimizer):
                 if weight_decay:
                     grad = grad + weight_decay * parameter.data
                 if momentum:
-                    velocity = self._velocity.get(id(parameter))
+                    state = self._param_state(parameter)
+                    velocity = state.get("momentum_buffer")
                     if velocity is None:
                         velocity = np.zeros_like(parameter.data)
                     velocity = momentum * velocity + grad
-                    self._velocity[id(parameter)] = velocity
+                    state["momentum_buffer"] = velocity
                     grad = grad + momentum * velocity if nesterov else velocity
                 parameter.data -= lr * grad

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import json
 import math
+from pathlib import Path
 
 __all__ = ["History"]
 
@@ -50,6 +52,36 @@ class History:
 
     def to_list(self) -> list[dict]:
         return [dict(record) for record in self.records]
+
+    # -- (de)serialization ------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: list[dict]) -> "History":
+        """Rebuild a history from :meth:`to_list` output (records are copied)."""
+        history = cls()
+        for record in records:
+            history.records.append(dict(record))
+        return history
+
+    def to_json(self, indent: int | None = None) -> str:
+        """JSON text round-trippable through :meth:`from_json`."""
+        from ..io.serialization import to_jsonable
+
+        return json.dumps(to_jsonable(self.records), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "History":
+        return cls.from_records(json.loads(text))
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json(indent=2))
+        return path
+
+    @classmethod
+    def load(cls, path) -> "History":
+        return cls.from_json(Path(path).read_text())
 
 
 def _is_finite(value) -> bool:

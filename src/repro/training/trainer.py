@@ -10,10 +10,14 @@ training-stability study measures.
 from __future__ import annotations
 
 import math
+import os
+import shutil
+from pathlib import Path
 
 import numpy as np
 
 from ..data.dataloader import DataLoader
+from ..io.checkpoint import load_checkpoint, save_checkpoint
 from ..metrics.accuracy import accuracy
 from ..nn.module import Module
 from ..optim.lr_scheduler import LRScheduler
@@ -54,6 +58,9 @@ class Trainer:
         self.history = History()
         self.diverged = False
         self.divergence_epoch: int | None = None
+        self.best_metric: float | None = None
+        self.best_epoch: int | None = None
+        self.stopped_early = False
 
     # -- single step / epoch ----------------------------------------------------
 
@@ -142,13 +149,95 @@ class Trainer:
         return {"loss": total_loss / max(total_examples, 1),
                 "accuracy": total_correct / max(total_examples, 1)}
 
+    # -- checkpointing -------------------------------------------------------------
+
+    def save_checkpoint(self, path, loader: DataLoader | None = None,
+                        epoch: int | None = None) -> Path:
+        """Write the full training state (model/optimizer/scheduler/loader/history)."""
+        return save_checkpoint(
+            path,
+            model=self.model,
+            optimizer=self.optimizer,
+            scheduler=self.scheduler,
+            loader=loader,
+            history=self.history,
+            extra={
+                "epoch": epoch if epoch is not None else len(self.history),
+                "diverged": self.diverged,
+                "divergence_epoch": self.divergence_epoch,
+                "best_metric": self.best_metric,
+                "best_epoch": self.best_epoch,
+            })
+
+    def load_checkpoint(self, path, loader: DataLoader | None = None) -> int:
+        """Restore training state saved by :meth:`save_checkpoint`.
+
+        Returns the epoch the checkpoint was taken at, so training can
+        continue from the next one.  The trainer must have been constructed
+        over the same model/optimizer/scheduler structure as the saved run;
+        pass the training ``loader`` to also restore its shuffle/augmentation
+        RNG streams (required for bit-identical resume).
+        """
+        checkpoint = load_checkpoint(path)
+        # Strict: a trainer with a scheduler (or a supplied loader) requires the
+        # matching section — a silent partial restore would break the
+        # bit-identical-resume guarantee without any signal.
+        checkpoint.restore(model=self.model, optimizer=self.optimizer,
+                           scheduler=self.scheduler, loader=loader)
+        self.history = checkpoint.history()
+        extra = checkpoint.extra
+        self.diverged = bool(extra.get("diverged", False))
+        self.divergence_epoch = extra.get("divergence_epoch")
+        self.best_metric = extra.get("best_metric")
+        self.best_epoch = extra.get("best_epoch")
+        return int(extra.get("epoch", len(self.history)))
+
     # -- full loop -----------------------------------------------------------------
 
     def fit(self, train_loader: DataLoader, epochs: int,
             eval_inputs: np.ndarray | None = None, eval_targets: np.ndarray | None = None,
-            stop_on_divergence: bool = True, verbose: bool = False) -> History:
-        """Train for ``epochs`` epochs, recording train/eval metrics per epoch."""
-        for epoch in range(1, epochs + 1):
+            stop_on_divergence: bool = True, verbose: bool = False,
+            checkpoint_dir: str | Path | None = None, checkpoint_every: int = 0,
+            resume_from: str | Path | None = None, monitor: str | None = None,
+            monitor_mode: str | None = None, early_stopping_patience: int | None = None,
+            min_delta: float = 0.0) -> History:
+        """Train for ``epochs`` epochs, recording train/eval metrics per epoch.
+
+        Checkpoint/resume
+        -----------------
+        With ``checkpoint_dir`` set, ``checkpoint_every`` > 0 writes
+        ``epoch_<k>.npz`` plus a rolling ``last.npz`` every N epochs, and the
+        best epoch under the monitored metric is saved as ``best.npz``.
+        ``resume_from`` restores a checkpoint (including the loader's RNG
+        streams) and continues from the following epoch; a resumed run
+        reproduces the uninterrupted run's history bit-identically.
+
+        Best tracking / early stopping
+        ------------------------------
+        ``monitor`` names the history key to track (default: ``eval_accuracy``
+        when eval data is given, else ``train_loss``); ``monitor_mode`` is
+        ``"max"`` or ``"min"`` (inferred from the name by default).  With
+        ``early_stopping_patience`` set, training stops after that many epochs
+        without an improvement larger than ``min_delta``.
+        """
+        self.stopped_early = False
+        start_epoch = 0
+        if resume_from is not None:
+            start_epoch = self.load_checkpoint(resume_from, loader=train_loader)
+        else:
+            # A fresh (non-resumed) fit must not inherit best-tracking state
+            # from a previous stage on the same trainer.
+            self.best_metric = None
+            self.best_epoch = None
+        has_eval = eval_inputs is not None and eval_targets is not None
+        if monitor is None:
+            monitor = "eval_accuracy" if has_eval else "train_loss"
+        mode = monitor_mode or ("min" if monitor.endswith("loss") else "max")
+        if checkpoint_dir is not None:
+            checkpoint_dir = Path(checkpoint_dir)
+            checkpoint_dir.mkdir(parents=True, exist_ok=True)
+
+        for epoch in range(start_epoch + 1, epochs + 1):
             train_metrics = self.train_epoch(train_loader)
             record = {
                 "epoch": epoch,
@@ -159,7 +248,7 @@ class Trainer:
             }
             if self.diverged and self.divergence_epoch is None:
                 self.divergence_epoch = epoch
-            if eval_inputs is not None and eval_targets is not None and not self.diverged:
+            if has_eval and not self.diverged:
                 eval_metrics = self.evaluate(eval_inputs, eval_targets)
                 record["eval_loss"] = eval_metrics["loss"]
                 record["eval_accuracy"] = eval_metrics["accuracy"]
@@ -170,6 +259,34 @@ class Trainer:
                                 if isinstance(value, float)))
             if self.scheduler is not None:
                 self.scheduler.step()
+
+            value = record.get(monitor)
+            if value is not None and math.isfinite(value) and \
+                    self._improved(value, mode, min_delta):
+                self.best_metric = float(value)
+                self.best_epoch = epoch
+                if checkpoint_dir is not None:
+                    self.save_checkpoint(checkpoint_dir / "best.npz", train_loader, epoch)
+            if checkpoint_dir is not None and checkpoint_every and \
+                    epoch % checkpoint_every == 0:
+                epoch_path = self.save_checkpoint(
+                    checkpoint_dir / f"epoch_{epoch:04d}.npz", train_loader, epoch)
+                # last.npz is a byte copy, not a second (expensive) serialization.
+                temp_path = checkpoint_dir / "last.npz.tmp"
+                shutil.copyfile(epoch_path, temp_path)
+                os.replace(temp_path, checkpoint_dir / "last.npz")
+
             if self.diverged and stop_on_divergence:
                 break
+            if early_stopping_patience is not None and self.best_epoch is not None \
+                    and epoch - self.best_epoch >= early_stopping_patience:
+                self.stopped_early = True
+                break
         return self.history
+
+    def _improved(self, value: float, mode: str, min_delta: float) -> bool:
+        if self.best_metric is None:
+            return True
+        if mode == "min":
+            return value < self.best_metric - min_delta
+        return value > self.best_metric + min_delta
