@@ -1,137 +1,61 @@
 #!/usr/bin/env python
-"""Benchmark harness: run the ``test_bench_*`` suite, write ``BENCH_autograd.json``.
+"""Compatibility wrapper: regenerate ``BENCH_autograd.json`` via ``repro bench``.
 
-Runs the pytest-benchmark suite under this directory and distils the results
-into a single machine-readable file at the repository root so successive PRs
-have a performance trajectory to regress against:
-
-* ``figure_repros`` — wall time of every figure/table reproduction benchmark
-  (fig4 ResNet/CIFAR and table2 Transformer by default).
-* ``fused_ops`` — fused vs unfused quadratic-neuron kernel timings from
-  ``test_bench_fused_ops.py`` with the resulting speedups.
-
-Usage::
+The benchmark harness is unified with the experiment CLI — the perf
+trajectory is produced by the same content-hash-cached runner that powers
+``python -m repro run`` / ``sweep`` (see :mod:`repro.bench`), so figure
+timings measure exactly what the sweeps execute and the fresh artifacts warm
+the cache for subsequent runs.  This script remains as the historical entry
+point::
 
     PYTHONPATH=src python benchmarks/run_bench.py              # default subset
-    PYTHONPATH=src python benchmarks/run_bench.py --all        # whole suite
+    PYTHONPATH=src python benchmarks/run_bench.py --all        # every experiment
     PYTHONPATH=src python benchmarks/run_bench.py --scale bench --output out.json
+
+and simply forwards to ``python -m repro bench``.  The ``test_bench_*.py``
+pytest-benchmark suite under this directory is still available for
+interactive profiling (``pytest benchmarks/ --benchmark-only``).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
-import subprocess
 import sys
-import tempfile
-import time
 
 BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(BENCH_DIR)
 
-# Default subset: the fused-kernel comparison plus the two headline
-# figure/table repros named by the acceptance criteria (fig4 / table2).
-DEFAULT_TARGETS = [
-    "test_bench_fused_ops.py",
-    "test_bench_fig4_resnet_cifar.py",
-    "test_bench_table2_transformer.py",
-]
+# Default subset: the headline figure/table repros named by the acceptance
+# criteria (fig4 / table2); the fused-kernel comparison always runs.
+DEFAULT_EXPERIMENTS = ["fig4", "table2"]
 
 
-def run_pytest_benchmarks(targets: list[str], scale: str) -> list[dict]:
-    """Run the selected benchmark files, return pytest-benchmark's records."""
-    env = dict(os.environ)
-    env["REPRO_SCALE"] = scale
-    src = os.path.join(REPO_ROOT, "src")
-    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
-    with tempfile.TemporaryDirectory() as tmp:
-        json_path = os.path.join(tmp, "benchmark.json")
-        command = [sys.executable, "-m", "pytest", "-q",
-                   *[os.path.join(BENCH_DIR, target) for target in targets],
-                   f"--benchmark-json={json_path}"]
-        completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
-        if completed.returncode != 0:
-            raise SystemExit(f"benchmark run failed with exit code {completed.returncode}")
-        with open(json_path) as handle:
-            payload = json.load(handle)
-    return payload.get("benchmarks", [])
+def main(argv: list[str] | None = None) -> int:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.cli import main as cli_main
 
-
-def _stats(record: dict) -> dict:
-    stats = record["stats"]
-    return {
-        "mean_seconds": stats["mean"],
-        "min_seconds": stats["min"],
-        "stddev_seconds": stats["stddev"],
-        "rounds": stats["rounds"],
-    }
-
-
-def summarize(records: list[dict]) -> dict:
-    """Split raw pytest-benchmark records into repro timings and fused pairs."""
-    figure_repros: dict[str, dict] = {}
-    fused_ops: dict[str, dict] = {}
-    for record in records:
-        name = record["name"]
-        if "fused_quadratic" in name:
-            fused_ops[name] = _stats(record)
-        else:
-            figure_repros[name] = _stats(record)
-
-    speedups = {}
-    for kind in ("linear", "conv"):
-        fused = fused_ops.get(f"test_bench_fused_quadratic_{kind}")
-        unfused = fused_ops.get(f"test_bench_unfused_quadratic_{kind}")
-        if fused and unfused and fused["mean_seconds"] > 0:
-            speedups[f"quadratic_{kind}_speedup"] = (
-                unfused["mean_seconds"] / fused["mean_seconds"])
-    return {"figure_repros": figure_repros, "fused_ops": fused_ops,
-            "fused_speedups": speedups}
-
-
-def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", default=os.environ.get("REPRO_SCALE", "smoke"),
                         choices=["smoke", "bench", "paper"],
-                        help="experiment scale forwarded as REPRO_SCALE")
+                        help="experiment scale to time at")
     parser.add_argument("--all", action="store_true",
-                        help="run every test_bench_* module instead of the default subset")
+                        help="time every registered experiment instead of the "
+                             "default subset")
+    parser.add_argument("--min-fused-speedup", type=float, default=None,
+                        help="fail when any fused-kernel speedup falls below "
+                             "this ratio")
     parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_autograd.json"),
                         help="where to write the summary JSON")
     args = parser.parse_args(argv)
 
-    if args.all:
-        targets = sorted(name for name in os.listdir(BENCH_DIR)
-                         if name.startswith("test_bench_") and name.endswith(".py"))
-    else:
-        targets = DEFAULT_TARGETS
-
-    started = time.time()
-    records = run_pytest_benchmarks(targets, args.scale)
-    summary = summarize(records)
-    summary.update({
-        "scale": args.scale,
-        "targets": targets,
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(started)),
-        "harness_seconds": time.time() - started,
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-    })
-
-    with open(args.output, "w") as handle:
-        json.dump(summary, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-
-    print(f"\nwrote {args.output}")
-    for name, stats in sorted(summary["figure_repros"].items()):
-        print(f"  {name:<45s} {stats['mean_seconds'] * 1e3:>12.1f} ms")
-    for name, stats in sorted(summary["fused_ops"].items()):
-        print(f"  {name:<45s} {stats['mean_seconds'] * 1e6:>12.1f} us")
-    for name, ratio in sorted(summary["fused_speedups"].items()):
-        print(f"  {name:<45s} {ratio:>11.2f}x")
+    command = ["bench", "--scale", args.scale, "--output", args.output]
+    if args.min_fused_speedup is not None:
+        command += ["--min-fused-speedup", str(args.min_fused_speedup)]
+    if not args.all:
+        command += DEFAULT_EXPERIMENTS
+    return cli_main(command)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

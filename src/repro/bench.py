@@ -1,0 +1,179 @@
+"""Unified benchmark harness behind ``python -m repro bench``.
+
+Produces the repository's perf trajectory (``BENCH_autograd.json``) from the
+same machinery the sweeps use:
+
+* **Figure/table timings** come from the cached experiment runner
+  (:func:`repro.experiments.runner.run_many` with ``force=True``), so the
+  numbers measure exactly what ``python -m repro run`` executes — no separate
+  pytest harness with its own import and fixture overhead.
+* **Fused-kernel micro-benchmarks** time a forward+backward training step
+  through the fused ``quadratic_response`` / ``quadratic_conv2d`` registry
+  ops against the node-by-node unfused reference path, preserving the
+  workloads (and result keys) of ``benchmarks/test_bench_fused_ops.py`` so
+  the speedup trajectory stays comparable across PRs.
+
+:func:`check_fused_speedups` is the CI gate: it fails the run when any fused
+kernel's speedup over its unfused reference regresses below a threshold.
+
+``benchmarks/run_bench.py`` is a thin compatibility wrapper around this
+module; the pytest-benchmark suite under ``benchmarks/`` remains for
+interactive profiling.
+"""
+
+from __future__ import annotations
+
+import platform
+import statistics
+import time
+
+import numpy as np
+
+from .experiments.runner import default_cache_dir, run_many
+from .io.serialization import atomic_write_json
+
+__all__ = ["time_callable", "fused_kernel_benchmarks", "benchmark_experiments",
+           "build_summary", "check_fused_speedups", "write_summary"]
+
+#: Fused micro-benchmark result keys, kept identical to the historical
+#: pytest-benchmark test names so BENCH_autograd.json stays a trajectory.
+FUSED_BENCH_KEYS = {
+    ("linear", True): "test_bench_fused_quadratic_linear",
+    ("linear", False): "test_bench_unfused_quadratic_linear",
+    ("conv", True): "test_bench_fused_quadratic_conv",
+    ("conv", False): "test_bench_unfused_quadratic_conv",
+}
+
+
+def time_callable(function, rounds: int = 10, warmup: int = 1) -> dict:
+    """Wall-clock statistics for ``rounds`` calls of ``function()``."""
+    for _ in range(warmup):
+        function()
+    samples = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - started)
+    return {
+        "mean_seconds": statistics.fmean(samples),
+        "min_seconds": min(samples),
+        "stddev_seconds": statistics.stdev(samples) if len(samples) > 1 else 0.0,
+        "rounds": rounds,
+    }
+
+
+def _fused_workloads():
+    """The fused-vs-unfused training-step pairs (same shapes as the pytest suite)."""
+    from .quadratic import EfficientQuadraticConv2d, EfficientQuadraticLinear
+    from .tensor import Tensor
+
+    dense_layer = EfficientQuadraticLinear(256, 32, rank=9, lambda_init=0.1,
+                                           rng=np.random.default_rng(0))
+    dense_x = Tensor(np.random.default_rng(1).standard_normal((128, 256))
+                     .astype(np.float32), requires_grad=True)
+    conv_layer = EfficientQuadraticConv2d(16, 4, 3, padding=1, rank=9, lambda_init=0.1,
+                                          rng=np.random.default_rng(0))
+    conv_x = Tensor(np.random.default_rng(1).standard_normal((8, 16, 16, 16))
+                    .astype(np.float32), requires_grad=True)
+
+    def train_step(layer, x, forward):
+        for parameter in layer.parameters():
+            parameter.zero_grad()
+        x.zero_grad()
+        forward(x).sum().backward()
+
+    return {
+        "linear": (dense_layer, dense_x),
+        "conv": (conv_layer, conv_x),
+    }, train_step
+
+
+def fused_kernel_benchmarks(rounds: int = 30, warmup: int = 3) -> tuple[dict, dict]:
+    """Time fused vs unfused kernels; return ``(fused_ops, fused_speedups)``.
+
+    ``fused_speedups`` carries the legacy mean-based ratios (the trajectory
+    numbers) plus ``*_speedup_best`` best-of-rounds ratios, which are far less
+    sensitive to scheduler noise and are what the CI gate prefers.
+    """
+    workloads, train_step = _fused_workloads()
+    fused_ops: dict[str, dict] = {}
+    speedups: dict[str, float] = {}
+    for kind, (layer, x) in workloads.items():
+        for fused in (True, False):
+            forward = layer if fused else layer._forward_unfused
+            fused_ops[FUSED_BENCH_KEYS[kind, fused]] = time_callable(
+                lambda layer=layer, x=x, forward=forward: train_step(layer, x, forward),
+                rounds=rounds, warmup=warmup)
+        fused_stats = fused_ops[FUSED_BENCH_KEYS[kind, True]]
+        unfused_stats = fused_ops[FUSED_BENCH_KEYS[kind, False]]
+        if fused_stats["mean_seconds"] > 0 and fused_stats["min_seconds"] > 0:
+            speedups[f"quadratic_{kind}_speedup"] = (
+                unfused_stats["mean_seconds"] / fused_stats["mean_seconds"])
+            speedups[f"quadratic_{kind}_speedup_best"] = (
+                unfused_stats["min_seconds"] / fused_stats["min_seconds"])
+    return fused_ops, speedups
+
+
+def benchmark_experiments(names: list[str], scale: str = "smoke",
+                          cache_dir=None, progress=None) -> dict:
+    """End-to-end wall time per experiment via the cached runner (cache bypassed).
+
+    Always runs sequentially (``jobs=1``): concurrent experiments contend for
+    cores and would inflate each other's wall times, corrupting the trajectory
+    that successive PRs compare against.  The fresh artifacts still land in
+    the cache, so a later ``repro run`` of the same configuration is a cache
+    hit — benching warms the sweep.
+    """
+    cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+    outcomes = run_many(names, scale=scale, cache_dir=cache_dir, force=True,
+                        jobs=1, progress=progress)
+    timings: dict[str, dict] = {}
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise RuntimeError(f"benchmark run of '{outcome.name}' failed: "
+                               f"{outcome.error}")
+        timings[outcome.name] = {
+            "mean_seconds": outcome.elapsed_seconds,
+            "min_seconds": outcome.elapsed_seconds,
+            "stddev_seconds": 0.0,
+            "rounds": 1,
+        }
+    return timings
+
+
+def build_summary(figure_repros: dict, fused_ops: dict, fused_speedups: dict,
+                  scale: str, started: float) -> dict:
+    return {
+        "figure_repros": figure_repros,
+        "fused_ops": fused_ops,
+        "fused_speedups": fused_speedups,
+        "scale": scale,
+        "targets": sorted(figure_repros),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(started)),
+        "harness_seconds": time.time() - started,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def check_fused_speedups(summary: dict, minimum: float) -> list[str]:
+    """Return regression messages for fused speedups below ``minimum`` (CI gate).
+
+    Each kernel passes if *either* its mean-based or its best-of-rounds ratio
+    clears the floor — a genuine fusion regression drags both down, while a
+    noisy-neighbor scheduling blip rarely corrupts the best-of-rounds number.
+    """
+    speedups = summary.get("fused_speedups", {})
+    violations = []
+    for name, ratio in sorted(speedups.items()):
+        if name.endswith("_best"):
+            continue
+        best = speedups.get(f"{name}_best", ratio)
+        if max(ratio, best) < minimum:
+            violations.append(f"{name} = {ratio:.3f}x (best-of-rounds "
+                              f"{best:.3f}x) is below the {minimum:.2f}x floor")
+    return violations
+
+
+def write_summary(summary: dict, output) -> None:
+    atomic_write_json(output, {key: summary[key] for key in sorted(summary)})

@@ -1,23 +1,29 @@
-"""Command-line interface: ``python -m repro {list,run,bench}``.
+"""Command-line interface: ``python -m repro {list,run,sweep,bench}``.
 
 * ``list``  — show every registered experiment and its cached artifacts.
-* ``run``   — execute one or more experiments (or ``all``) through the shared
-  caching runner; unchanged configurations are cache hits, so an interrupted
+* ``run``   — execute one or more experiments (or ``--all``) through the
+  shared caching runner, optionally fanned out over a process pool with
+  ``--jobs N``; unchanged configurations are cache hits, so an interrupted
   sweep resumes where it stopped.
-* ``bench`` — time experiments (cache bypassed) and print a wall-clock table.
+* ``sweep`` — run every experiment across one or more scales with a parallel
+  worker pool by default (``--jobs auto``); per-experiment failures are
+  reported at the end instead of aborting the sweep.
+* ``bench`` — regenerate the perf trajectory (``BENCH_autograd.json``):
+  experiment wall times through the same cached runner (cache bypassed) plus
+  the fused-kernel micro-benchmarks, with an optional ``--min-fused-speedup``
+  CI gate.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
 from .experiments import get_scale
 from .experiments.registry import all_specs, experiment_names, get_spec
-from .experiments.reporting import format_table
-from .experiments.runner import default_cache_dir, run_experiment
+from .experiments.reporting import SweepReporter, format_table
+from .experiments.runner import default_cache_dir, run_many
 
 __all__ = ["main", "build_parser"]
 
@@ -34,6 +40,12 @@ def build_parser() -> argparse.ArgumentParser:
                                help="artifact cache directory (default: "
                                     "$REPRO_ARTIFACTS or ./artifacts)")
 
+    def add_jobs(subparser, default=None):
+        subparser.add_argument("--jobs", "-j", default=default, metavar="N",
+                               help="worker processes for the sweep: an integer, "
+                                    "or 'auto' for one per CPU (default: "
+                                    "$REPRO_JOBS or 1)")
+
     list_parser = commands.add_parser(
         "list", help="list registered experiments and cached artifacts")
     add_cache_dir(list_parser)
@@ -42,10 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = commands.add_parser(
         "run", help="run experiments through the caching runner")
     add_cache_dir(run_parser)
-    run_parser.add_argument("experiments", nargs="+",
+    run_parser.add_argument("experiments", nargs="*",
                             help="experiment names, or 'all'")
+    run_parser.add_argument("--all", dest="run_all", action="store_true",
+                            help="run every registered experiment")
     run_parser.add_argument("--scale", default="bench",
                             help="scale preset: smoke, bench or paper (default: bench)")
+    add_jobs(run_parser)
     run_parser.add_argument("--resume", dest="resume", action="store_true", default=True,
                             help="reuse cached artifacts so an interrupted sweep "
                                  "continues where it left off (default)")
@@ -57,15 +72,40 @@ def build_parser() -> argparse.ArgumentParser:
                             help="suppress per-experiment reports")
     run_parser.set_defaults(handler=_command_run)
 
+    sweep_parser = commands.add_parser(
+        "sweep", help="run every experiment across scales on a worker pool")
+    add_cache_dir(sweep_parser)
+    sweep_parser.add_argument("experiments", nargs="*",
+                              help="experiment names (default: all registered)")
+    sweep_parser.add_argument("--scales", nargs="+", default=["smoke"],
+                              metavar="SCALE",
+                              help="scale presets to sweep (default: smoke)")
+    add_jobs(sweep_parser, default="auto")
+    sweep_parser.add_argument("--force", action="store_true",
+                              help="recompute and overwrite cached artifacts")
+    sweep_parser.set_defaults(handler=_command_sweep)
+
     bench_parser = commands.add_parser(
-        "bench", help="time experiments end-to-end (bypasses the cache)")
+        "bench", help="regenerate the perf trajectory (cache bypassed)")
     add_cache_dir(bench_parser)
     bench_parser.add_argument("experiments", nargs="*",
                               help="experiment names (default: all)")
     bench_parser.add_argument("--scale", default="smoke",
-                              help="scale preset to time at (default: smoke)")
-    bench_parser.add_argument("--json", dest="json_path", default=None,
-                              help="also write the timing table to this JSON file")
+                              help="scale preset to time at (default: smoke; "
+                                   "timing is always sequential so the "
+                                   "trajectory is contention-free)")
+    bench_parser.add_argument("--output", "--json", dest="output",
+                              default="BENCH_autograd.json",
+                              help="summary JSON path (default: BENCH_autograd.json)")
+    bench_parser.add_argument("--rounds", type=int, default=30,
+                              help="rounds per fused-kernel micro-benchmark "
+                                   "(default: 30)")
+    bench_parser.add_argument("--skip-fused", action="store_true",
+                              help="skip the fused-kernel micro-benchmarks")
+    bench_parser.add_argument("--min-fused-speedup", type=float, default=None,
+                              metavar="RATIO",
+                              help="fail when any fused-kernel speedup falls "
+                                   "below RATIO (CI perf gate)")
     bench_parser.set_defaults(handler=_command_bench)
     return parser
 
@@ -83,8 +123,8 @@ def _cache_dir(args) -> Path:
     return Path(args.cache_dir) if args.cache_dir else default_cache_dir()
 
 
-def _resolve_names(requested: list[str]) -> list[str]:
-    if requested == ["all"] or requested == []:
+def _resolve_names(requested: list[str], run_all: bool = False) -> list[str]:
+    if run_all or requested == ["all"] or requested == []:
         return experiment_names()
     for name in requested:
         get_spec(name)  # raises with the available names on a typo
@@ -119,35 +159,90 @@ def _print_reports(spec, result: dict) -> None:
 
 
 def _command_run(args) -> int:
-    names = _resolve_names(args.experiments)
+    if not args.experiments and not args.run_all:
+        print("error: name experiments to run, or pass --all for the full sweep",
+              file=sys.stderr)
+        return 2
+    names = _resolve_names(args.experiments, run_all=args.run_all)
     scale = get_scale(args.scale)
     cache_dir = _cache_dir(args)
-    for name in names:
-        spec = get_spec(name)
-        outcome = run_experiment(name, scale=scale, cache_dir=cache_dir,
-                                 force=args.force, use_cache=args.resume)
-        status = "cached" if outcome.cache_hit else f"ran in {outcome.elapsed_seconds:.1f}s"
-        print(f"== {spec.artifact} ({name}) @ {outcome.scale}: {status} "
-              f"-> {outcome.path}")
-        if not args.quiet:
-            _print_reports(spec, outcome.result)
-    return 0
+    reporter = SweepReporter(total=len(names))
+    outcomes = run_many(names, scale=scale, cache_dir=cache_dir, force=args.force,
+                        use_cache=args.resume, jobs=args.jobs,
+                        progress=reporter.on_outcome, on_event=reporter.on_event)
+    if not args.quiet:
+        for outcome in outcomes:
+            if outcome.ok:
+                _print_reports(get_spec(outcome.name), outcome.result)
+    reporter.print_summary()
+    return 1 if reporter.failed else 0
+
+
+def _command_sweep(args) -> int:
+    names = _resolve_names(args.experiments)
+    cache_dir = _cache_dir(args)
+    scales = [get_scale(name) for name in args.scales]  # validate before starting
+    failures = 0
+    for scale in scales:
+        print(f"--- sweep @ {scale.name} (jobs={args.jobs}) ---")
+        reporter = SweepReporter(total=len(names))
+        run_many(names, scale=scale, cache_dir=cache_dir, force=args.force,
+                 jobs=args.jobs, progress=reporter.on_outcome,
+                 on_event=reporter.on_event)
+        reporter.print_summary()
+        failures += len(reporter.failed)
+    return 1 if failures else 0
 
 
 def _command_bench(args) -> int:
+    import time as _time
+
+    from . import bench as bench_module
+
+    if args.skip_fused and args.min_fused_speedup is not None:
+        print("error: --skip-fused would make --min-fused-speedup a vacuous "
+              "pass; drop one of the two", file=sys.stderr)
+        return 2
     names = _resolve_names(args.experiments)
     scale = get_scale(args.scale)
     cache_dir = _cache_dir(args)
-    rows = []
-    for name in names:
-        outcome = run_experiment(name, scale=scale, cache_dir=cache_dir, force=True)
-        rows.append({"experiment": name, "scale": outcome.scale,
-                     "seconds": outcome.elapsed_seconds})
-        print(f"{name}: {outcome.elapsed_seconds:.2f}s")
-    table = format_table(rows, columns=["experiment", "scale", "seconds"])
+    started = _time.time()
+
+    try:
+        figure_repros = bench_module.benchmark_experiments(
+            names, scale=scale, cache_dir=cache_dir,
+            progress=lambda outcome: print(
+                f"{outcome.name}: {outcome.elapsed_seconds:.2f}s"))
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.skip_fused:
+        fused_ops, fused_speedups = {}, {}
+    else:
+        fused_ops, fused_speedups = bench_module.fused_kernel_benchmarks(
+            rounds=args.rounds)
+
+    summary = bench_module.build_summary(figure_repros, fused_ops, fused_speedups,
+                                         scale=scale.name, started=started)
+    rows = [{"experiment": name, "scale": scale.name,
+             "seconds": stats["mean_seconds"]}
+            for name, stats in figure_repros.items()]
     print()
-    print(table)
-    if args.json_path:
-        Path(args.json_path).write_text(json.dumps(rows, indent=2))
-        print(f"wrote {args.json_path}")
+    print(format_table(rows, columns=["experiment", "scale", "seconds"]))
+    for name, stats in sorted(fused_ops.items()):
+        print(f"  {name:<45s} {stats['mean_seconds'] * 1e6:>12.1f} us")
+    for name, ratio in sorted(fused_speedups.items()):
+        print(f"  {name:<45s} {ratio:>11.2f}x")
+
+    if args.output:
+        bench_module.write_summary(summary, args.output)
+        print(f"wrote {args.output}")
+
+    if args.min_fused_speedup is not None:
+        violations = bench_module.check_fused_speedups(summary, args.min_fused_speedup)
+        if violations:
+            for violation in violations:
+                print(f"PERF REGRESSION: {violation}", file=sys.stderr)
+            return 1
+        print(f"fused speedups all >= {args.min_fused_speedup:.2f}x")
     return 0

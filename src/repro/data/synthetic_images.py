@@ -143,18 +143,24 @@ class SyntheticImageClassification:
     def __len__(self) -> int:
         return self.train_size
 
+    #: Configuration fields reported by :meth:`describe` (in report order).
+    DESCRIBE_KEYS = ("num_classes", "image_size", "channels", "train_size",
+                     "test_size", "noise_level", "second_order_fraction", "seed")
+
     def describe(self) -> dict:
         """Summary of the dataset configuration (used in experiment reports)."""
-        return {
-            "num_classes": self.num_classes,
-            "image_size": self.image_size,
-            "channels": self.channels,
-            "train_size": self.train_size,
-            "test_size": self.test_size,
-            "noise_level": self.noise_level,
-            "second_order_fraction": self.second_order_fraction,
-            "seed": self.seed,
-        }
+        return {key: getattr(self, key) for key in self.DESCRIBE_KEYS}
+
+    @classmethod
+    def describe_config(cls, **overrides) -> dict:
+        """The :meth:`describe` dictionary for a configuration, without
+        generating any data — construction eagerly samples every image, which
+        experiment drivers that only need the description should skip."""
+        from dataclasses import fields
+
+        config = {f.name: f.default for f in fields(cls) if f.init}
+        config.update(overrides)
+        return {key: config[key] for key in cls.DESCRIBE_KEYS}
 
 
 def make_cifar10_like(image_size: int = 16, train_size: int = 512, test_size: int = 128,

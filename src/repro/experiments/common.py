@@ -9,32 +9,66 @@ from ..metrics.profiler import ModelProfile, profile_model
 from ..nn import CrossEntropyLoss
 from ..nn.module import Module
 from ..optim import SGD, MultiStepLR, split_parameter_groups
+from ..parallel import Task, run_tasks
+from ..parallel.executor import raise_on_failure
 from ..tensor import Tensor
 from ..training import Trainer
-from .config import ExperimentScale
+from .config import ExperimentScale, scale_to_payload
 
 __all__ = [
     "build_image_dataset",
+    "describe_image_dataset",
     "make_trainer",
     "train_image_classifier",
     "profile_classifier",
     "classifier_result_row",
+    "run_model_grid",
 ]
+
+
+#: One-slot memo for :func:`build_image_dataset`.  Grid cells rebuild "their"
+#: dataset from configuration (nothing rich crosses a process boundary), and
+#: within one process every cell of a sweep asks for the same configuration —
+#: the memo makes that one eager data generation per process, exactly like the
+#: old share-one-instance sequential code, while a single slot (rather than an
+#: unbounded cache) avoids pinning a paper-scale array set after a sweep moves
+#: on to a differently-configured workload.
+_DATASET_MEMO: list[tuple[tuple, SyntheticImageClassification]] = []
 
 
 def build_image_dataset(scale: ExperimentScale, num_classes: int | None = None,
                         image_size: int | None = None, train_size: int | None = None,
                         test_size: int | None = None, seed: int | None = None
                         ) -> SyntheticImageClassification:
-    """Create the synthetic image-classification workload for a given scale."""
-    return SyntheticImageClassification(
-        num_classes=num_classes if num_classes is not None else scale.num_classes,
-        image_size=image_size if image_size is not None else scale.image_size,
-        train_size=train_size if train_size is not None else scale.train_size,
-        test_size=test_size if test_size is not None else scale.test_size,
-        noise_level=scale.noise_level,
-        seed=seed if seed is not None else scale.seed,
-    )
+    """Create (or reuse) the synthetic image-classification workload for a scale.
+
+    The returned dataset is shared within the process for repeated calls with
+    an identical configuration; it is generated deterministically from the
+    seed, so sharing never changes results (and training never mutates it).
+    """
+    config = {
+        "num_classes": num_classes if num_classes is not None else scale.num_classes,
+        "image_size": image_size if image_size is not None else scale.image_size,
+        "train_size": train_size if train_size is not None else scale.train_size,
+        "test_size": test_size if test_size is not None else scale.test_size,
+        "noise_level": scale.noise_level,
+        "seed": seed if seed is not None else scale.seed,
+    }
+    key = tuple(sorted(config.items()))
+    if not _DATASET_MEMO or _DATASET_MEMO[0][0] != key:
+        _DATASET_MEMO[:] = [(key, SyntheticImageClassification(**config))]
+    return _DATASET_MEMO[0][1]
+
+
+def describe_image_dataset(scale: ExperimentScale, **overrides) -> dict:
+    """The :meth:`describe` dict of :func:`build_image_dataset`'s dataset,
+    computed from configuration alone — no images are generated, so drivers
+    whose grid cells rebuild their own datasets can report the workload
+    without paying for an extra parent-side copy."""
+    return SyntheticImageClassification.describe_config(
+        num_classes=scale.num_classes, image_size=scale.image_size,
+        train_size=scale.train_size, test_size=scale.test_size,
+        noise_level=scale.noise_level, seed=scale.seed, **overrides)
 
 
 def make_trainer(model: Module, scale: ExperimentScale, epochs: int | None = None,
@@ -76,6 +110,38 @@ def profile_classifier(model: Module, dataset: SyntheticImageClassification) -> 
     """Parameter/MAC profile of an image classifier for the dataset's geometry."""
     example = Tensor(dataset.test_images[:1])
     return profile_model(model, example)
+
+
+def run_model_grid(experiment: str, task_fn: str, cells: list[dict],
+                   scale: ExperimentScale, jobs: int | str | None = None) -> list[dict]:
+    """Fan a per-model training grid out through the parallel executor.
+
+    ``task_fn`` is a dotted ``"module:function"`` reference to a *top-level*
+    function taking ``(scale, **cell)`` — with ``scale`` delivered as a
+    :func:`~repro.experiments.config.scale_to_payload` dict — and returning a
+    JSON-safe result row.  ``cells`` are the grid coordinates (one kwargs dict
+    per model).  Results come back in grid order regardless of completion
+    order, and each task seeds the global RNGs deterministically from the
+    scale seed and its cell key, so a parallel grid is byte-identical to the
+    sequential one.
+
+    ``jobs=None`` defers to ``$REPRO_JOBS`` (set by ``run_many`` / the CLI);
+    inside a pool worker the grid is clamped to sequential execution rather
+    than nesting pools.  A cell that crashes is retried once and then raises
+    :class:`~repro.parallel.executor.ParallelTaskError`, surfacing as *this
+    experiment's* failure in the surrounding sweep instead of aborting it.
+    """
+    payload = scale_to_payload(scale)
+
+    def cell_key(cell: dict) -> str:
+        parts = "/".join(f"{name}={cell[name]}" for name in sorted(cell))
+        return f"{experiment}[{parts}]"
+
+    tasks = [Task(key=cell_key(cell), fn=task_fn,
+                  kwargs={"scale": payload, **cell}) for cell in cells]
+    results = run_tasks(tasks, jobs=jobs, retries=1, seed=scale.seed)
+    raise_on_failure(results)
+    return [result.value for result in results]
 
 
 def classifier_result_row(label: str, depth: int, neuron_type: str, profile: ModelProfile,

@@ -17,9 +17,10 @@ presets are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 
-__all__ = ["ExperimentScale", "SCALES", "get_scale"]
+__all__ = ["ExperimentScale", "SCALES", "get_scale",
+           "scale_to_payload", "scale_from_payload"]
 
 
 @dataclass(frozen=True)
@@ -141,3 +142,33 @@ def get_scale(name: str = "bench") -> ExperimentScale:
     if name not in SCALES:
         raise KeyError(f"unknown scale '{name}'; available: {sorted(SCALES)}")
     return SCALES[name]
+
+
+#: Fields whose values are tuples (payload round-trips turn them into lists).
+_TUPLE_FIELDS = frozenset(f.name for f in fields(ExperimentScale)
+                          if isinstance(getattr(SCALES["bench"], f.name), tuple))
+
+
+def scale_to_payload(scale: ExperimentScale) -> dict:
+    """Flatten a scale into primitives that survive pickling / JSON transport.
+
+    Parallel workers receive scales in this form so nothing richer than
+    dicts, lists and scalars ever crosses a process boundary.
+    """
+    return asdict(scale)
+
+
+def scale_from_payload(payload: "ExperimentScale | str | dict") -> ExperimentScale:
+    """Rebuild an :class:`ExperimentScale` from whatever crossed the boundary.
+
+    Accepts an already-live scale, a preset name, or a
+    :func:`scale_to_payload` dictionary (tuple-valued fields are restored so
+    the rebuilt scale compares — and content-hashes — equal to the original).
+    """
+    if isinstance(payload, ExperimentScale):
+        return payload
+    if isinstance(payload, str):
+        return get_scale(payload)
+    restored = {key: tuple(value) if key in _TUPLE_FIELDS and isinstance(value, list)
+                else value for key, value in payload.items()}
+    return ExperimentScale(**restored)

@@ -28,32 +28,44 @@ from ..tensor import Tensor
 from .common import (
     build_image_dataset,
     classifier_result_row,
+    describe_image_dataset,
     profile_classifier,
+    run_model_grid,
     train_image_classifier,
 )
-from .config import ExperimentScale, get_scale
+from .config import ExperimentScale, get_scale, scale_from_payload
 from .reporting import format_table, relative_change
 
-__all__ = ["run", "paper_scale_costs", "NEURON_TYPES"]
+__all__ = ["run", "train_cell", "paper_scale_costs", "NEURON_TYPES"]
 
 NEURON_TYPES = ("linear", "proposed")
+
+
+def train_cell(scale, depth: int, neuron_type: str) -> dict:
+    """Train one (depth, neuron) cell of the Fig. 4 grid — parallel-executor entry.
+
+    Top-level and primitive-argument only so the grid can run the cell in a
+    pool worker; the synthetic dataset is rebuilt from the scale seed, so
+    every cell sees identical data whatever process it lands in.
+    """
+    scale = scale_from_payload(scale)
+    dataset = build_image_dataset(scale)
+    model = CifarResNet(depth, num_classes=scale.num_classes, neuron_type=neuron_type,
+                        rank=scale.rank, base_width=scale.base_width,
+                        seed=scale.seed + depth)
+    profile = profile_classifier(model, dataset)
+    trainer, metrics = train_image_classifier(model, dataset, scale)
+    return classifier_result_row(
+        f"ResNet-{depth}/{neuron_type}", depth, neuron_type, profile, metrics, trainer)
 
 
 def run(scale: ExperimentScale | None = None) -> dict:
     """Train the Fig. 4 sweep and return rows, pairwise comparisons and a report."""
     scale = scale or get_scale("bench")
-    dataset = build_image_dataset(scale)
 
-    rows = []
-    for depth in scale.resnet_depths:
-        for neuron_type in NEURON_TYPES:
-            model = CifarResNet(depth, num_classes=scale.num_classes, neuron_type=neuron_type,
-                                rank=scale.rank, base_width=scale.base_width,
-                                seed=scale.seed + depth)
-            profile = profile_classifier(model, dataset)
-            trainer, metrics = train_image_classifier(model, dataset, scale)
-            rows.append(classifier_result_row(
-                f"ResNet-{depth}/{neuron_type}", depth, neuron_type, profile, metrics, trainer))
+    cells = [{"depth": int(depth), "neuron_type": neuron_type}
+             for depth in scale.resnet_depths for neuron_type in NEURON_TYPES]
+    rows = run_model_grid("fig4", "repro.experiments.fig4:train_cell", cells, scale)
 
     comparisons = _depth_shift_comparisons(rows, scale.resnet_depths)
     return {
@@ -62,7 +74,7 @@ def run(scale: ExperimentScale | None = None) -> dict:
         "report": format_table(rows, columns=["model", "depth", "neuron", "test_accuracy",
                                               "parameters", "macs"]),
         "scale": scale.name,
-        "dataset": dataset.describe(),
+        "dataset": describe_image_dataset(scale),
     }
 
 

@@ -17,13 +17,15 @@ from ..models import CifarResNet
 from .common import (
     build_image_dataset,
     classifier_result_row,
+    describe_image_dataset,
     profile_classifier,
+    run_model_grid,
     train_image_classifier,
 )
-from .config import ExperimentScale, get_scale
+from .config import ExperimentScale, get_scale, scale_from_payload
 from .reporting import format_table, relative_change
 
-__all__ = ["run", "QUADRATIC_BASELINES"]
+__all__ = ["run", "train_cell", "QUADRATIC_BASELINES"]
 
 #: Neuron types compared in Fig. 5 (label → factory key).
 QUADRATIC_BASELINES = {"quad1": "quad1", "quad2": "quad2", "proposed": "proposed"}
@@ -34,24 +36,30 @@ QUADRATIC_BASELINES = {"quad1": "quad1", "quad2": "quad2", "proposed": "proposed
 PROPOSED_WIDTH_MULTIPLIER = 1.25
 
 
+def train_cell(scale, depth: int, label: str) -> dict:
+    """Train one (depth, baseline) cell of the Fig. 5 grid — parallel-executor entry."""
+    scale = scale_from_payload(scale)
+    neuron_type = QUADRATIC_BASELINES[label]
+    dataset = build_image_dataset(scale)
+    width_multiplier = PROPOSED_WIDTH_MULTIPLIER if neuron_type == "proposed" else 1.0
+    model = CifarResNet(depth, num_classes=scale.num_classes, neuron_type=neuron_type,
+                        rank=scale.rank, base_width=scale.base_width,
+                        width_multiplier=width_multiplier, seed=scale.seed + depth)
+    profile = profile_classifier(model, dataset)
+    trainer, metrics = train_image_classifier(model, dataset, scale)
+    row = classifier_result_row(
+        f"ResNet-{depth}/{label}", depth, label, profile, metrics, trainer)
+    row["width_multiplier"] = width_multiplier
+    return row
+
+
 def run(scale: ExperimentScale | None = None) -> dict:
     """Train the Fig. 5 sweep and return rows plus per-depth savings."""
     scale = scale or get_scale("bench")
-    dataset = build_image_dataset(scale)
 
-    rows = []
-    for depth in scale.resnet_depths:
-        for label, neuron_type in QUADRATIC_BASELINES.items():
-            width_multiplier = PROPOSED_WIDTH_MULTIPLIER if neuron_type == "proposed" else 1.0
-            model = CifarResNet(depth, num_classes=scale.num_classes, neuron_type=neuron_type,
-                                rank=scale.rank, base_width=scale.base_width,
-                                width_multiplier=width_multiplier, seed=scale.seed + depth)
-            profile = profile_classifier(model, dataset)
-            trainer, metrics = train_image_classifier(model, dataset, scale)
-            row = classifier_result_row(
-                f"ResNet-{depth}/{label}", depth, label, profile, metrics, trainer)
-            row["width_multiplier"] = width_multiplier
-            rows.append(row)
+    cells = [{"depth": int(depth), "label": label}
+             for depth in scale.resnet_depths for label in QUADRATIC_BASELINES]
+    rows = run_model_grid("fig5", "repro.experiments.fig5:train_cell", cells, scale)
 
     savings = _savings_vs_baselines(rows, scale.resnet_depths)
     return {
@@ -60,7 +68,7 @@ def run(scale: ExperimentScale | None = None) -> dict:
         "report": format_table(rows, columns=["model", "depth", "neuron", "test_accuracy",
                                               "parameters", "macs"]),
         "scale": scale.name,
-        "dataset": dataset.describe(),
+        "dataset": describe_image_dataset(scale),
     }
 
 

@@ -23,11 +23,20 @@ and import the module from :mod:`repro.experiments` so the registration runs.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
 __all__ = ["ExperimentSpec", "register", "unregister", "get_spec",
-           "experiment_names", "all_specs"]
+           "experiment_names", "all_specs", "ensure_loaded",
+           "EXTRA_MODULES_ENV"]
+
+#: Comma-separated module names imported (and thereby registered) alongside the
+#: built-in drivers.  This is how out-of-tree specs become resolvable inside
+#: spawned pool workers, which re-resolve every spec by name in a fresh
+#: interpreter: the environment variable is inherited by the worker process,
+#: so :func:`ensure_loaded` re-imports the same modules there.
+EXTRA_MODULES_ENV = "REPRO_EXPERIMENT_MODULES"
 
 
 @dataclass(frozen=True)
@@ -89,15 +98,22 @@ def unregister(name: str) -> None:
     _REGISTRY.pop(name, None)
 
 
-def _ensure_loaded() -> None:
-    """Import the drivers so their module-level registrations have run."""
+def ensure_loaded() -> None:
+    """Import the drivers so their module-level registrations have run.
+
+    Also imports any modules named in ``$REPRO_EXPERIMENT_MODULES``, letting
+    tests and plugins make their specs resolvable in worker processes.
+    """
     from importlib import import_module
 
     import_module("repro.experiments")
+    extra = os.environ.get(EXTRA_MODULES_ENV, "")
+    for module_name in filter(None, (name.strip() for name in extra.split(","))):
+        import_module(module_name)
 
 
 def get_spec(name: str) -> ExperimentSpec:
-    _ensure_loaded()
+    ensure_loaded()
     if name not in _REGISTRY:
         raise KeyError(f"unknown experiment '{name}'; "
                        f"available: {', '.join(experiment_names())}")
@@ -106,10 +122,10 @@ def get_spec(name: str) -> ExperimentSpec:
 
 def experiment_names() -> list[str]:
     """Registered experiment names in registration order."""
-    _ensure_loaded()
+    ensure_loaded()
     return list(_REGISTRY)
 
 
 def all_specs() -> list[ExperimentSpec]:
-    _ensure_loaded()
+    ensure_loaded()
     return list(_REGISTRY.values())

@@ -9,9 +9,10 @@
 """
 
 from .checkpoint import CHECKPOINT_VERSION, Checkpoint, load_checkpoint, save_checkpoint
-from .serialization import to_jsonable
+from .serialization import atomic_write_json, to_jsonable
 
 __all__ = [
+    "atomic_write_json",
     "CHECKPOINT_VERSION",
     "Checkpoint",
     "load_checkpoint",

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -101,10 +102,23 @@ def save_checkpoint(path, *, model=None, optimizer=None, scheduler=None,
 
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    temp_path = path.with_name(path.name + ".tmp")
-    with open(temp_path, "wb") as stream:
-        np.savez(stream, **payload)
-    os.replace(temp_path, path)
+    # Unique temp name + fsync + rename: concurrent savers (e.g. two workers
+    # sharing a checkpoint_dir) can never interleave into one temp file, and
+    # a crash can never publish a torn .npz at the final path.
+    descriptor, temp_name = tempfile.mkstemp(dir=path.parent,
+                                             prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "wb") as stream:
+            np.savez(stream, **payload)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 

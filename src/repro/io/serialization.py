@@ -16,10 +16,14 @@ NumPy scalars and arrays, tuples (including tuple *keys* such as the
 from __future__ import annotations
 
 import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
-__all__ = ["to_jsonable"]
+__all__ = ["to_jsonable", "atomic_write_json"]
 
 _ATOMIC = (bool, int, float, str, type(None))
 
@@ -45,6 +49,35 @@ def to_jsonable(value):
     if hasattr(value, "__dict__"):
         return to_jsonable(vars(value))
     return repr(value)
+
+
+def atomic_write_json(path: str | Path, payload, indent: int = 2) -> Path:
+    """Write ``payload`` as JSON to ``path`` atomically.
+
+    The bytes land in a uniquely named temporary file in the destination
+    directory (so concurrent writers can never collide on the temp name),
+    are fsynced, and only then renamed over ``path`` with ``os.replace``.
+    A reader — or a crash — can therefore observe the old artifact or the new
+    one, but never a torn, half-written JSON document.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            json.dump(payload, handle, indent=indent)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def _key(key) -> str:

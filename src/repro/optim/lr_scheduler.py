@@ -37,13 +37,17 @@ class LRScheduler:
         return {"last_step": self.last_step, "base_lrs": list(self.base_lrs)}
 
     def load_state_dict(self, state: dict) -> None:
-        """Restore the step counter and re-apply the schedule to the optimizer."""
+        """Restore the step counter and re-apply the schedule to the optimizer.
+
+        At ``last_step == 0`` no step has happened yet, so groups go back to
+        their base LRs — restoring a step-0 snapshot over a decayed optimizer
+        must undo the decay, not leave it in place.
+        """
         self.last_step = int(state["last_step"])
         self.base_lrs = [float(lr) for lr in state["base_lrs"]]
-        if self.last_step > 0:
-            factor = self.get_factor(self.last_step)
-            for group, base_lr in zip(self.optimizer.param_groups, self.base_lrs):
-                group["lr"] = base_lr * factor
+        factor = self.get_factor(self.last_step) if self.last_step > 0 else 1.0
+        for group, base_lr in zip(self.optimizer.param_groups, self.base_lrs):
+            group["lr"] = base_lr * factor
 
 
 class MultiStepLR(LRScheduler):

@@ -1,0 +1,40 @@
+"""Structured progress events emitted while a task batch executes.
+
+Events flow to the parent-side reporter (a plain callable) as the executor
+observes task lifecycle transitions, so a sweep can show live per-task
+progress without the workers ever talking to the terminal themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TaskEvent", "SUBMITTED", "COMPLETED", "FAILED", "RETRYING"]
+
+SUBMITTED = "submitted"
+COMPLETED = "completed"
+FAILED = "failed"
+RETRYING = "retrying"
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """One lifecycle transition of one task.
+
+    ``kind`` is one of ``submitted`` / ``completed`` / ``failed`` /
+    ``retrying``; ``attempt`` counts from 1.  ``pid`` and
+    ``elapsed_seconds`` are filled from the worker's result payload for
+    ``completed`` / ``failed`` events; ``error`` carries the formatted
+    exception for ``failed`` / ``retrying``.
+    """
+
+    kind: str
+    key: str
+    attempt: int = 1
+    elapsed_seconds: float = 0.0
+    pid: int | None = None
+    error: str | None = None
+
+    def __str__(self) -> str:
+        suffix = f": {self.error}" if self.error else ""
+        return f"[{self.kind}] {self.key} (attempt {self.attempt}){suffix}"

@@ -1,0 +1,273 @@
+"""Map a batch of tasks over a process pool (or inline), with retries.
+
+:func:`run_tasks` is the single entry point used both by the experiment
+runner (one task per experiment) and by the per-model grids inside one
+experiment (one task per model).  Guarantees:
+
+* **Determinism** — results come back in submission order, and every task can
+  be given a seed derived from a root seed plus its key, so ``jobs=1`` and
+  ``jobs=N`` produce byte-identical outputs.
+* **Isolation** — ``jobs <= 1`` runs tasks inline through the *same*
+  :func:`~repro.parallel.worker.execute_task` code path; ``jobs > 1`` spawns
+  fresh interpreter processes (no inherited RNG or registry state).
+* **Failure containment** — a task that raises is retried up to ``retries``
+  times and then reported as a failed :class:`TaskResult`; a worker process
+  that dies outright (segfault, ``os._exit``) breaks the pool, which is
+  rebuilt and the in-flight tasks retried.  One bad task never aborts the
+  batch.
+* **No nested pools** — tasks running inside a pool worker see
+  ``parallel_depth() > 0`` and their own fan-outs clamp to ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+
+from . import events as ev
+from .events import TaskEvent
+from .seeding import derive_seed
+from .worker import DEPTH_ENV, execute_task, worker_initializer
+
+__all__ = ["Task", "TaskResult", "ParallelTaskError", "run_tasks",
+           "effective_jobs", "parallel_depth"]
+
+#: Environment variable naming the default worker count (set by the CLI so
+#: fan-outs deep inside experiment drivers inherit ``--jobs``).
+JOBS_ENV = "REPRO_JOBS"
+
+#: Environment variable selecting the multiprocessing start method.  The
+#: default is ``spawn``: workers start from a clean interpreter, which forces
+#: the re-resolve-by-name discipline and behaves identically on every
+#: platform (``fork`` would leak the parent's dynamically registered specs
+#: and global RNG state into the workers).
+START_METHOD_ENV = "REPRO_MP_START"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work: a dotted callable reference plus primitive kwargs.
+
+    ``key`` must be unique within a batch; it names the task in events and is
+    mixed into the derived per-task seed.  ``kwargs`` must contain only
+    picklable primitives (the callable is resolved worker-side, so live
+    objects never cross the process boundary).
+    """
+
+    key: str
+    fn: str
+    kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task after all attempts."""
+
+    key: str
+    index: int
+    ok: bool
+    value: object = None
+    error: str | None = None
+    traceback: str | None = None
+    attempts: int = 1
+    elapsed_seconds: float = 0.0
+    pid: int | None = None
+
+
+class ParallelTaskError(RuntimeError):
+    """Raised by :func:`raise_on_failure` when a batch has failed tasks."""
+
+    def __init__(self, failures: list[TaskResult]):
+        self.failures = failures
+        # Include the worker-side tracebacks: this exception is usually all
+        # that survives to the sweep-level failure report, so the real failing
+        # frame inside the task must travel with it.
+        details = "\n".join(
+            f"--- {result.key} (after {result.attempts} attempt(s)) ---\n"
+            f"{(result.traceback or result.error or 'unknown failure').rstrip()}"
+            for result in failures)
+        super().__init__(f"{len(failures)} task(s) failed after retries:\n{details}")
+
+
+def parallel_depth() -> int:
+    """How many process-pool layers above this process (0 in the parent)."""
+    try:
+        return int(os.environ.get(DEPTH_ENV, "0"))
+    except ValueError:
+        return 0
+
+
+def effective_jobs(jobs: int | str | None = None) -> int:
+    """Resolve a requested worker count to a concrete, safe value.
+
+    ``None`` falls back to ``$REPRO_JOBS`` (default 1); ``"auto"`` or any
+    value ``<= 0`` means one worker per CPU.  Inside a pool worker the result
+    is clamped to 1 so nested fan-outs run sequentially.
+    """
+    if jobs is None:
+        jobs = os.environ.get(JOBS_ENV) or 1
+    if isinstance(jobs, str):
+        jobs = -1 if jobs.strip().lower() == "auto" else int(jobs)
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    if parallel_depth() > 0:
+        return 1
+    return int(jobs)
+
+
+def raise_on_failure(results: list[TaskResult]) -> list[TaskResult]:
+    """Return ``results`` unchanged, raising :class:`ParallelTaskError` if any failed."""
+    failures = [result for result in results if not result.ok]
+    if failures:
+        raise ParallelTaskError(failures)
+    return results
+
+
+def run_tasks(tasks: list[Task], jobs: int | str | None = 1, retries: int = 1,
+              on_event=None, on_result=None, seed: int | None = None) -> list[TaskResult]:
+    """Execute ``tasks`` and return one :class:`TaskResult` per task, in order.
+
+    ``on_event`` receives :class:`~repro.parallel.events.TaskEvent` instances
+    as the batch progresses; ``on_result`` receives each finalized
+    :class:`TaskResult` in *completion* order (for live reporting — the
+    returned list is always in submission order).  ``seed`` (when given)
+    derives a per-task seed from ``(seed, task.key)`` that the worker
+    installs into the global RNGs before running the task.
+    """
+    tasks = list(tasks)
+    keys = [task.key for task in tasks]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"task keys must be unique within a batch: {keys}")
+    emit = on_event if on_event is not None else (lambda event: None)
+    deliver = on_result if on_result is not None else (lambda result: None)
+    payloads = [{
+        "key": task.key,
+        "fn": task.fn,
+        "kwargs": dict(task.kwargs),
+        "seed": None if seed is None else derive_seed(seed, task.key),
+    } for task in tasks]
+
+    jobs = min(effective_jobs(jobs), max(len(tasks), 1))
+    if jobs <= 1:
+        return _run_inline(payloads, retries, emit, deliver)
+    return _run_pool(payloads, jobs, retries, emit, deliver)
+
+
+def _result_from_payload(raw: dict, index: int, attempts: int) -> TaskResult:
+    return TaskResult(key=raw["key"], index=index, ok=raw["ok"],
+                      value=raw.get("value"), error=raw.get("error"),
+                      traceback=raw.get("traceback"), attempts=attempts,
+                      elapsed_seconds=raw.get("elapsed_seconds", 0.0),
+                      pid=raw.get("pid"))
+
+
+def _run_inline(payloads: list[dict], retries: int, emit, deliver) -> list[TaskResult]:
+    """Sequential execution through the same worker code path as the pool."""
+    results = []
+    for index, payload in enumerate(payloads):
+        attempt = 1
+        emit(TaskEvent(ev.SUBMITTED, payload["key"], attempt=attempt))
+        while True:
+            raw = execute_task(payload)
+            if raw["ok"] or attempt > retries:
+                break
+            emit(TaskEvent(ev.RETRYING, payload["key"], attempt=attempt,
+                           error=raw.get("error")))
+            attempt += 1
+        result = _result_from_payload(raw, index, attempt)
+        emit(TaskEvent(ev.COMPLETED if result.ok else ev.FAILED, result.key,
+                       attempt=attempt, elapsed_seconds=result.elapsed_seconds,
+                       pid=result.pid, error=result.error))
+        results.append(result)
+        deliver(result)
+    return results
+
+
+def _run_pool(payloads: list[dict], jobs: int, retries: int, emit,
+              deliver) -> list[TaskResult]:
+    """Process-pool execution with per-task retry and broken-pool recovery.
+
+    A ``BrokenProcessPool`` error cannot be attributed to a task: when one
+    worker segfaults, *every* in-flight future fails with it.  So breakage in
+    a shared pool requeues the affected tasks **without charging an
+    attempt**, and the next round runs in *isolation mode* — one
+    single-worker pool per task — where a crash is unambiguously the task's
+    own fault and consumes its retry budget.  A repeatedly crashing task
+    therefore fails alone; innocent bystanders always get re-run.
+    """
+    start_method = os.environ.get(START_METHOD_ENV, "spawn")
+    context = get_context(start_method)
+    results: dict[int, TaskResult] = {}
+    #: (payload index, attempt number) still to run.
+    pending: list[tuple[int, int]] = [(index, 1) for index in range(len(payloads))]
+    isolate = False
+
+    def record(result: TaskResult) -> None:
+        results[result.index] = result
+        deliver(result)
+
+    while pending:
+        retry_next: list[tuple[int, int]] = []
+        requeue_uncharged: list[tuple[int, int]] = []
+        groups = [[entry] for entry in pending] if isolate else [pending]
+        for group in groups:
+            pool = ProcessPoolExecutor(
+                max_workers=min(jobs, len(group)), mp_context=context,
+                initializer=worker_initializer, initargs=(parallel_depth() + 1,))
+            try:
+                futures = {}
+                for index, attempt in group:
+                    futures[pool.submit(execute_task, payloads[index])] = (index, attempt)
+                    emit(TaskEvent(ev.SUBMITTED, payloads[index]["key"], attempt=attempt))
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index, attempt = futures[future]
+                        key = payloads[index]["key"]
+                        error = future.exception()
+                        if error is None:
+                            raw = future.result()
+                            if not raw["ok"] and attempt <= retries:
+                                emit(TaskEvent(ev.RETRYING, key, attempt=attempt,
+                                               error=raw.get("error")))
+                                retry_next.append((index, attempt + 1))
+                            else:
+                                result = _result_from_payload(raw, index, attempt)
+                                emit(TaskEvent(
+                                    ev.COMPLETED if result.ok else ev.FAILED,
+                                    result.key, attempt=attempt,
+                                    elapsed_seconds=result.elapsed_seconds,
+                                    pid=result.pid, error=result.error))
+                                record(result)
+                            continue
+                        # The worker died without returning a payload.
+                        message = f"{type(error).__name__}: {error}"
+                        if isinstance(error, BrokenProcessPool) and not isolate:
+                            # Can't tell culprit from bystander in a shared
+                            # pool — re-run everyone, attempt uncharged, in
+                            # isolation next round.
+                            requeue_uncharged.append((index, attempt))
+                        elif attempt <= retries:
+                            emit(TaskEvent(ev.RETRYING, key, attempt=attempt,
+                                           error=message))
+                            retry_next.append((index, attempt + 1))
+                        else:
+                            result = TaskResult(
+                                key=key, index=index, ok=False,
+                                error=f"worker process crashed: {message}",
+                                attempts=attempt)
+                            emit(TaskEvent(ev.FAILED, key, attempt=attempt,
+                                           error=result.error))
+                            record(result)
+            finally:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+        if requeue_uncharged:
+            isolate = True
+        pending = sorted(retry_next + requeue_uncharged)
+
+    return [results[index] for index in range(len(payloads))]

@@ -1,0 +1,82 @@
+"""Worker-side task execution.
+
+A :class:`~repro.parallel.executor.Task` never carries live objects — only a
+dotted ``"module:function"`` reference plus primitive kwargs — so the payload
+pickles trivially under any start method and the worker re-imports and
+re-resolves everything by name (the same way the experiment runner re-resolves
+an :class:`~repro.experiments.registry.ExperimentSpec` from the registry).
+
+:func:`execute_task` converts *all* task exceptions into a structured failure
+payload (with the formatted traceback) instead of letting them propagate: a
+raising worker function must surface as a per-task failure the parent can
+retry or report, never as an unpicklable exception that poisons the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from importlib import import_module
+
+from .seeding import seed_task_globals
+
+__all__ = ["resolve_callable", "execute_task", "worker_initializer"]
+
+#: Environment variable tracking how many process-pool layers deep we are.
+DEPTH_ENV = "REPRO_PARALLEL_DEPTH"
+
+
+def resolve_callable(reference: str):
+    """Import and return the callable named by ``"package.module:attribute"``.
+
+    The attribute part may be dotted (``"pkg.mod:Class.method"``).
+    """
+    module_name, separator, attribute_path = reference.partition(":")
+    if not separator or not module_name or not attribute_path:
+        raise ValueError(f"task reference {reference!r} is not of the form "
+                         f"'package.module:attribute'")
+    target = import_module(module_name)
+    for attribute in attribute_path.split("."):
+        target = getattr(target, attribute)
+    if not callable(target):
+        raise TypeError(f"task reference {reference!r} resolved to "
+                        f"non-callable {target!r}")
+    return target
+
+
+def execute_task(payload: dict) -> dict:
+    """Run one task payload; always return a structured result dictionary.
+
+    ``payload`` is ``{"key": str, "fn": "module:function", "kwargs": dict,
+    "seed": int | None}``.  The result is ``{"key", "ok", "value" | "error" +
+    "traceback", "elapsed_seconds", "pid"}``.
+    """
+    key = payload["key"]
+    started = time.perf_counter()
+    try:
+        seed = payload.get("seed")
+        if seed is not None:
+            seed_task_globals(seed)
+        function = resolve_callable(payload["fn"])
+        value = function(**payload.get("kwargs", {}))
+        return {"key": key, "ok": True, "value": value,
+                "elapsed_seconds": time.perf_counter() - started,
+                "pid": os.getpid()}
+    except Exception as error:
+        return {"key": key, "ok": False,
+                "error": f"{type(error).__name__}: {error}",
+                "traceback": traceback.format_exc(),
+                "elapsed_seconds": time.perf_counter() - started,
+                "pid": os.getpid()}
+
+
+def worker_initializer(depth: int) -> None:
+    """Pool-process initializer: record the nesting depth.
+
+    :func:`~repro.parallel.executor.effective_jobs` reads the depth to clamp
+    nested fan-outs to 1 — an experiment already running inside a pool worker
+    executes its per-model grid sequentially instead of oversubscribing the
+    machine with a pool of pools.
+    """
+    os.environ[DEPTH_ENV] = str(depth)

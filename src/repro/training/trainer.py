@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 import os
 import shutil
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -271,10 +272,24 @@ class Trainer:
                     epoch % checkpoint_every == 0:
                 epoch_path = self.save_checkpoint(
                     checkpoint_dir / f"epoch_{epoch:04d}.npz", train_loader, epoch)
-                # last.npz is a byte copy, not a second (expensive) serialization.
-                temp_path = checkpoint_dir / "last.npz.tmp"
-                shutil.copyfile(epoch_path, temp_path)
-                os.replace(temp_path, checkpoint_dir / "last.npz")
+                # last.npz is a byte copy, not a second (expensive)
+                # serialization; unique temp name so concurrent trainers
+                # sharing a checkpoint_dir never interleave into one file.
+                descriptor, temp_name = tempfile.mkstemp(
+                    dir=checkpoint_dir, prefix="last.npz.", suffix=".tmp")
+                try:
+                    with os.fdopen(descriptor, "wb") as stream, \
+                            open(epoch_path, "rb") as source:
+                        shutil.copyfileobj(source, stream)
+                        stream.flush()
+                        os.fsync(stream.fileno())
+                    os.replace(temp_name, checkpoint_dir / "last.npz")
+                except BaseException:
+                    try:
+                        os.unlink(temp_name)
+                    except OSError:
+                        pass
+                    raise
 
             if self.diverged and stop_on_divergence:
                 break

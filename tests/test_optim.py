@@ -170,3 +170,25 @@ class TestSchedulers:
         scheduler = MultiStepLR(optimizer, milestones=[1])
         scheduler.step()
         assert scheduler.current_lrs() == [optimizer.param_groups[0]["lr"]]
+
+    def test_load_state_dict_restores_step_zero_over_decayed_lr(self):
+        optimizer = self._optimizer()
+        scheduler = MultiStepLR(optimizer, milestones=[1], gamma=0.1)
+        fresh = scheduler.state_dict()  # last_step == 0, base lr in effect
+        scheduler.step()
+        assert optimizer.param_groups[0]["lr"] == pytest.approx(0.1)
+        scheduler.load_state_dict(fresh)
+        # Restoring the step-0 snapshot must undo the decay, not keep it.
+        assert scheduler.last_step == 0
+        assert optimizer.param_groups[0]["lr"] == pytest.approx(1.0)
+
+    def test_load_state_dict_reapplies_decayed_schedule(self):
+        optimizer = self._optimizer()
+        scheduler = MultiStepLR(optimizer, milestones=[2], gamma=0.1)
+        scheduler.step(), scheduler.step()
+        snapshot = scheduler.state_dict()
+        restored_optimizer = SGD([nn.Parameter(np.zeros(1))], lr=1.0)
+        restored = MultiStepLR(restored_optimizer, milestones=[2], gamma=0.1)
+        restored.load_state_dict(snapshot)
+        assert restored.last_step == 2
+        assert restored_optimizer.param_groups[0]["lr"] == pytest.approx(0.1)

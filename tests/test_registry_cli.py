@@ -220,10 +220,54 @@ class TestCLI:
     def test_bench_times_experiments(self, capsys, tmp_path, counting_spec):
         json_path = tmp_path / "bench.json"
         assert cli.main(["bench", "_probe", "--scale", "smoke",
-                         "--cache-dir", str(tmp_path), "--json", str(json_path)]) == 0
-        rows = json.loads(json_path.read_text())
-        assert rows[0]["experiment"] == "_probe"
-        assert rows[0]["seconds"] >= 0.0
+                         "--cache-dir", str(tmp_path), "--skip-fused",
+                         "--output", str(json_path)]) == 0
+        summary = json.loads(json_path.read_text())
+        assert summary["scale"] == "smoke"
+        assert summary["figure_repros"]["_probe"]["rounds"] == 1
+        assert summary["figure_repros"]["_probe"]["mean_seconds"] >= 0.0
+
+    def test_bench_warms_the_cache(self, capsys, tmp_path, counting_spec):
+        _, runner = counting_spec
+        assert cli.main(["bench", "_probe", "--scale", "smoke", "--skip-fused",
+                         "--cache-dir", str(tmp_path), "--output", ""]) == 0
+        assert runner.calls == 1
+        # The forced bench run wrote through the cache: a subsequent run hits.
+        assert cli.main(["run", "_probe", "--scale", "smoke",
+                         "--cache-dir", str(tmp_path)]) == 0
+        assert runner.calls == 1
+        assert "cached" in capsys.readouterr().out
+
+    def test_bench_fused_gate(self, capsys, tmp_path, counting_spec):
+        common = ["bench", "_probe", "--scale", "smoke", "--cache-dir", str(tmp_path),
+                  "--output", "", "--rounds", "3"]
+        assert cli.main(common + ["--min-fused-speedup", "1e9"]) == 1
+        assert "PERF REGRESSION" in capsys.readouterr().err
+        assert cli.main(common + ["--min-fused-speedup", "0.0"]) == 0
+
+    def test_run_jobs_flag_summary_and_exit(self, capsys, tmp_path, counting_spec):
+        assert cli.main(["run", "_probe", "--scale", "smoke", "--jobs", "1",
+                         "--cache-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "1 ran" in output and "0 cached" in output and "0 failed" in output
+
+    def test_run_all_flag_resolves_every_experiment(self):
+        from repro.experiments.registry import experiment_names
+
+        assert cli._resolve_names([], run_all=True) == experiment_names()
+        assert cli._resolve_names(["all"]) == experiment_names()
+        assert set(PAPER_ARTIFACTS) <= set(cli._resolve_names([], run_all=True))
+
+    def test_sweep_command(self, capsys, tmp_path, counting_spec):
+        assert cli.main(["sweep", "_probe", "--scales", "smoke",
+                         "--jobs", "1", "--cache-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "sweep @ smoke" in output
+        assert "1 ran" in output
+        # Second sweep over the same configuration is all cache hits.
+        assert cli.main(["sweep", "_probe", "--scales", "smoke",
+                         "--jobs", "1", "--cache-dir", str(tmp_path)]) == 0
+        assert "1 cached" in capsys.readouterr().out
 
     def test_bad_scale_fails_cleanly(self, capsys, tmp_path):
         assert cli.main(["run", "table1", "--scale", "galactic",
