@@ -19,11 +19,15 @@ The package is organised bottom-up:
 * :mod:`repro.analysis`    — parameter-distribution, response and stability analyses.
 * :mod:`repro.experiments` — declarative registry of paper artifacts plus a
   caching runner (one spec per table/figure).
-* :mod:`repro.cli`         — ``python -m repro {list,run,bench}``.
+* :mod:`repro.serve`       — the stable inference API: self-describing model
+  bundles in, batched no-grad predictions out (:func:`repro.load` /
+  :class:`repro.Predictor`), HTTP-servable.
+* :mod:`repro.cli`         — ``python -m repro {list,run,sweep,bench,predict,serve}``.
 """
 
 from . import analysis, data, experiments, io, metrics, models, nn, optim, quadratic, tensor
-from . import training
+from . import serve, training
+from .io import load_bundle, save_bundle
 from .quadratic import (
     EfficientQuadraticConv2d,
     EfficientQuadraticLinear,
@@ -31,9 +35,10 @@ from .quadratic import (
     neuron_complexity,
     table_i_rows,
 )
+from .serve import Predictor, load
 from .tensor import Tensor
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis",
@@ -45,9 +50,14 @@ __all__ = [
     "nn",
     "optim",
     "quadratic",
+    "serve",
     "tensor",
     "training",
     "Tensor",
+    "Predictor",
+    "load",
+    "load_bundle",
+    "save_bundle",
     "EfficientQuadraticConv2d",
     "EfficientQuadraticLinear",
     "QuadraticDecomposition",

@@ -32,8 +32,9 @@ import numpy as np
 from .experiments.runner import default_cache_dir, run_many
 from .io.serialization import atomic_write_json
 
-__all__ = ["time_callable", "fused_kernel_benchmarks", "benchmark_experiments",
-           "build_summary", "check_fused_speedups", "write_summary"]
+__all__ = ["time_callable", "fused_kernel_benchmarks", "inference_benchmarks",
+           "benchmark_experiments", "build_summary", "check_fused_speedups",
+           "check_inference_speedup", "write_summary"]
 
 #: Fused micro-benchmark result keys, kept identical to the historical
 #: pytest-benchmark test names so BENCH_autograd.json stays a trajectory.
@@ -114,6 +115,45 @@ def fused_kernel_benchmarks(rounds: int = 30, warmup: int = 3) -> tuple[dict, di
     return fused_ops, speedups
 
 
+def inference_benchmarks(rounds: int = 5, warmup: int = 2,
+                         batch_size: int = 64) -> dict:
+    """Time batched :class:`~repro.serve.InferenceSession.predict` against a
+    naive per-sample loop over the same session.
+
+    This is the serving layer's headline number: one warm session answers the
+    same ``batch_size`` samples either as a single micro-batched forward or
+    as ``batch_size`` one-sample forwards.  The batched path amortizes the
+    im2col expansion and the BLAS dispatch across the whole batch, which is
+    exactly the inference-efficiency claim ``repro serve`` exists to exploit.
+    """
+    from .models import SimpleCNN
+    from .serve import InferenceSession
+
+    model = SimpleCNN(num_classes=10, neuron_type="proposed", rank=3,
+                      base_width=8, image_size=16, seed=0)
+    session = InferenceSession(model, max_batch=batch_size)
+    inputs = np.random.default_rng(1).standard_normal(
+        (batch_size, 3, 16, 16)).astype(np.float32)
+    session.warm(input_shape=inputs.shape[1:], batch_sizes=(batch_size, 1))
+
+    batched = time_callable(lambda: session.predict(inputs),
+                            rounds=rounds, warmup=warmup)
+    per_sample = time_callable(
+        lambda: [session.predict(inputs[index:index + 1])
+                 for index in range(batch_size)],
+        rounds=rounds, warmup=warmup)
+    result = {
+        "model": "simple_cnn/proposed",
+        "batch_size": batch_size,
+        "batched": batched,
+        "per_sample": per_sample,
+    }
+    if batched["mean_seconds"] > 0 and batched["min_seconds"] > 0:
+        result["speedup"] = per_sample["mean_seconds"] / batched["mean_seconds"]
+        result["speedup_best"] = per_sample["min_seconds"] / batched["min_seconds"]
+    return result
+
+
 def benchmark_experiments(names: list[str], scale: str = "smoke",
                           cache_dir=None, progress=None) -> dict:
     """End-to-end wall time per experiment via the cached runner (cache bypassed).
@@ -142,11 +182,12 @@ def benchmark_experiments(names: list[str], scale: str = "smoke",
 
 
 def build_summary(figure_repros: dict, fused_ops: dict, fused_speedups: dict,
-                  scale: str, started: float) -> dict:
+                  scale: str, started: float, inference: dict | None = None) -> dict:
     return {
         "figure_repros": figure_repros,
         "fused_ops": fused_ops,
         "fused_speedups": fused_speedups,
+        "inference": inference or {},
         "scale": scale,
         "targets": sorted(figure_repros),
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(started)),
@@ -173,6 +214,24 @@ def check_fused_speedups(summary: dict, minimum: float) -> list[str]:
             violations.append(f"{name} = {ratio:.3f}x (best-of-rounds "
                               f"{best:.3f}x) is below the {minimum:.2f}x floor")
     return violations
+
+
+def check_inference_speedup(summary: dict, minimum: float) -> list[str]:
+    """Regression messages when batched inference falls below ``minimum``×.
+
+    Like :func:`check_fused_speedups`, passes when *either* the mean-based or
+    the best-of-rounds ratio clears the floor.
+    """
+    inference = summary.get("inference", {})
+    ratio = inference.get("speedup")
+    if ratio is None:
+        return ["inference benchmark missing from the summary"]
+    best = inference.get("speedup_best", ratio)
+    if max(ratio, best) < minimum:
+        return [f"batched inference speedup = {ratio:.3f}x (best-of-rounds "
+                f"{best:.3f}x) is below the {minimum:.2f}x floor at "
+                f"batch {inference.get('batch_size')}"]
+    return []
 
 
 def write_summary(summary: dict, output) -> None:

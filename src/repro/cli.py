@@ -1,22 +1,30 @@
-"""Command-line interface: ``python -m repro {list,run,sweep,bench}``.
+"""Command-line interface: ``python -m repro {list,run,sweep,bench,predict,serve}``.
 
-* ``list``  — show every registered experiment and its cached artifacts.
-* ``run``   — execute one or more experiments (or ``--all``) through the
+* ``list``    — show every registered experiment and its cached artifacts.
+* ``run``     — execute one or more experiments (or ``--all``) through the
   shared caching runner, optionally fanned out over a process pool with
   ``--jobs N``; unchanged configurations are cache hits, so an interrupted
-  sweep resumes where it stopped.
-* ``sweep`` — run every experiment across one or more scales with a parallel
+  sweep resumes where it stopped.  Trained models land next to the artifacts
+  as servable bundles.
+* ``sweep``   — run every experiment across one or more scales with a parallel
   worker pool by default (``--jobs auto``); per-experiment failures are
   reported at the end instead of aborting the sweep.
-* ``bench`` — regenerate the perf trajectory (``BENCH_autograd.json``):
-  experiment wall times through the same cached runner (cache bypassed) plus
-  the fused-kernel micro-benchmarks, with an optional ``--min-fused-speedup``
-  CI gate.
+* ``bench``   — regenerate the perf trajectory (``BENCH_autograd.json``):
+  experiment wall times through the same cached runner (cache bypassed), the
+  fused-kernel micro-benchmarks, and the batched-inference micro-benchmark,
+  with optional ``--min-fused-speedup`` / ``--min-inference-speedup`` CI
+  gates.
+* ``predict`` — batched, no-grad inference on a saved model bundle (from
+  a ``.npy`` file or seeded random inputs), JSON out.
+* ``serve``   — expose a bundle over HTTP (``GET /healthz``,
+  ``POST /predict``) via a thread-per-connection stdlib server sharing one
+  warm inference session.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -106,7 +114,52 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="RATIO",
                               help="fail when any fused-kernel speedup falls "
                                    "below RATIO (CI perf gate)")
+    bench_parser.add_argument("--skip-inference", action="store_true",
+                              help="skip the batched-inference micro-benchmark")
+    bench_parser.add_argument("--min-inference-speedup", type=float, default=None,
+                              metavar="RATIO",
+                              help="fail when batched inference is less than "
+                                   "RATIO times faster than the per-sample "
+                                   "loop (CI perf gate)")
     bench_parser.set_defaults(handler=_command_bench)
+
+    predict_parser = commands.add_parser(
+        "predict", help="batched no-grad inference on a saved model bundle")
+    predict_parser.add_argument("bundle", help="path to a bundle .npz "
+                                               "(e.g. best.npz from a training run, or an "
+                                               "entry of an artifact's meta.bundles)")
+    source = predict_parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--input", metavar="NPY",
+                        help=".npy file holding one sample or a batch")
+    source.add_argument("--random", type=int, metavar="N",
+                        help="predict on N seeded random inputs (requires the "
+                             "bundle to record its input_shape)")
+    predict_parser.add_argument("--seed", type=int, default=0,
+                                help="seed for --random inputs (default: 0)")
+    predict_parser.add_argument("--top-k", type=int, default=1,
+                                help="classes per prediction record (default: 1)")
+    predict_parser.add_argument("--max-batch", type=int, default=64,
+                                help="micro-batch size (default: 64)")
+    predict_parser.add_argument("--no-normalize", dest="normalize",
+                                action="store_false",
+                                help="skip the bundle's input normalization "
+                                     "(inputs are already preprocessed)")
+    predict_parser.add_argument("--output", metavar="JSON", default=None,
+                                help="also write the predictions to this file")
+    predict_parser.set_defaults(handler=_command_predict)
+
+    serve_parser = commands.add_parser(
+        "serve", help="serve a model bundle over HTTP")
+    serve_parser.add_argument("bundle", help="path to a bundle .npz")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8000,
+                              help="bind port, 0 for ephemeral (default: 8000)")
+    serve_parser.add_argument("--max-batch", type=int, default=64,
+                              help="micro-batch size per forward (default: 64)")
+    serve_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-request access logs")
+    serve_parser.set_defaults(handler=_command_serve)
     return parser
 
 
@@ -114,7 +167,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.handler(args)
-    except (KeyError, ValueError) as error:
+    except (KeyError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 
@@ -174,6 +227,11 @@ def _command_run(args) -> int:
         for outcome in outcomes:
             if outcome.ok:
                 _print_reports(get_spec(outcome.name), outcome.result)
+                for bundle in outcome.artifact.get("meta", {}).get("bundles", []):
+                    # A cached artifact may list bundles that were cleaned up
+                    # since the run; only advertise files that still exist.
+                    if (cache_dir / bundle).exists():
+                        print(f"bundle: {cache_dir / bundle}")
     reporter.print_summary()
     return 1 if reporter.failed else 0
 
@@ -203,6 +261,10 @@ def _command_bench(args) -> int:
         print("error: --skip-fused would make --min-fused-speedup a vacuous "
               "pass; drop one of the two", file=sys.stderr)
         return 2
+    if args.skip_inference and args.min_inference_speedup is not None:
+        print("error: --skip-inference would make --min-inference-speedup a "
+              "vacuous pass; drop one of the two", file=sys.stderr)
+        return 2
     names = _resolve_names(args.experiments)
     scale = get_scale(args.scale)
     cache_dir = _cache_dir(args)
@@ -221,9 +283,12 @@ def _command_bench(args) -> int:
     else:
         fused_ops, fused_speedups = bench_module.fused_kernel_benchmarks(
             rounds=args.rounds)
+    inference = {} if args.skip_inference else \
+        bench_module.inference_benchmarks(rounds=max(3, args.rounds // 6))
 
     summary = bench_module.build_summary(figure_repros, fused_ops, fused_speedups,
-                                         scale=scale.name, started=started)
+                                         scale=scale.name, started=started,
+                                         inference=inference)
     rows = [{"experiment": name, "scale": scale.name,
              "seconds": stats["mean_seconds"]}
             for name, stats in figure_repros.items()]
@@ -233,6 +298,13 @@ def _command_bench(args) -> int:
         print(f"  {name:<45s} {stats['mean_seconds'] * 1e6:>12.1f} us")
     for name, ratio in sorted(fused_speedups.items()):
         print(f"  {name:<45s} {ratio:>11.2f}x")
+    if inference:
+        batch = inference["batch_size"]
+        print(f"  {'inference batched (batch ' + str(batch) + ')':<45s} "
+              f"{inference['batched']['mean_seconds'] * 1e6:>12.1f} us")
+        print(f"  {'inference per-sample loop':<45s} "
+              f"{inference['per_sample']['mean_seconds'] * 1e6:>12.1f} us")
+        print(f"  {'inference batch speedup':<45s} {inference['speedup']:>11.2f}x")
 
     if args.output:
         bench_module.write_summary(summary, args.output)
@@ -245,4 +317,55 @@ def _command_bench(args) -> int:
                 print(f"PERF REGRESSION: {violation}", file=sys.stderr)
             return 1
         print(f"fused speedups all >= {args.min_fused_speedup:.2f}x")
+    if args.min_inference_speedup is not None:
+        violations = bench_module.check_inference_speedup(
+            summary, args.min_inference_speedup)
+        if violations:
+            for violation in violations:
+                print(f"PERF REGRESSION: {violation}", file=sys.stderr)
+            return 1
+        print(f"batched inference >= {args.min_inference_speedup:.2f}x "
+              f"the per-sample loop")
+    return 0
+
+
+def _command_predict(args) -> int:
+    import numpy as np
+
+    from .serve import load
+
+    predictor = load(args.bundle, max_batch=args.max_batch, warm=False)
+    if args.input is not None:
+        inputs = np.load(args.input)
+    else:
+        if predictor.input_shape is None:
+            print("error: --random needs the bundle to record input_shape; "
+                  "pass --input instead", file=sys.stderr)
+            return 2
+        if args.random < 1:
+            print("error: --random needs at least one sample", file=sys.stderr)
+            return 2
+        inputs = np.random.default_rng(args.seed).standard_normal(
+            (args.random, *predictor.input_shape)).astype(np.float32)
+
+    predictions = predictor.predict_topk(inputs, k=args.top_k,
+                                         normalize=args.normalize)
+    document = {
+        "bundle": str(args.bundle),
+        "model": predictor.describe()["model"],
+        "count": len(predictions),
+        "predictions": predictions,
+    }
+    rendered = json.dumps(document, indent=2)
+    print(rendered)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n")
+    return 0
+
+
+def _command_serve(args) -> int:
+    from .serve.http import serve
+
+    serve(args.bundle, host=args.host, port=args.port,
+          max_batch=args.max_batch, quiet=args.quiet)
     return 0

@@ -58,12 +58,18 @@ class SyntheticImageClassification:
     train_labels: np.ndarray = field(init=False, repr=False)
     test_images: np.ndarray = field(init=False, repr=False)
     test_labels: np.ndarray = field(init=False, repr=False)
+    #: Normalization applied to the train split (``{"mean": ..., "std": ...}``
+    #: of the raw pixel values).  Serving pipelines embed this in model
+    #: bundles so raw inference inputs can be normalized the same way the
+    #: training data was.
+    train_normalization: dict = field(init=False, repr=False)
 
     def __post_init__(self):
         rng = np.random.default_rng(self.seed)
         self._prototypes, self._texture_signs = self._build_class_structure(rng)
-        self.train_images, self.train_labels = self._sample_split(rng, self.train_size)
-        self.test_images, self.test_labels = self._sample_split(rng, self.test_size)
+        self.train_images, self.train_labels, self.train_normalization = \
+            self._sample_split(rng, self.train_size)
+        self.test_images, self.test_labels, _ = self._sample_split(rng, self.test_size)
 
     # -- class structure ------------------------------------------------------
 
@@ -118,7 +124,8 @@ class SyntheticImageClassification:
         mean = images.mean()
         std = images.std() + 1e-8
         images = (images - mean) / std
-        return images.astype(np.float32), labels
+        normalization = {"mean": float(mean), "std": float(std)}
+        return images.astype(np.float32), labels, normalization
 
     def _sample_image(self, rng: np.random.Generator, label: int) -> np.ndarray:
         amplitude = rng.uniform(0.7, 1.3)

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from ..data import DataLoader, SyntheticImageClassification, standard_cifar_augmentation
+from ..io.bundle import default_bundle_name, save_bundle
 from ..metrics.profiler import ModelProfile, profile_model
 from ..nn import CrossEntropyLoss
 from ..nn.module import Module
@@ -14,10 +17,12 @@ from ..parallel.executor import raise_on_failure
 from ..tensor import Tensor
 from ..training import Trainer
 from .config import ExperimentScale, scale_to_payload
+from .runner import active_bundle_dir
 
 __all__ = [
     "build_image_dataset",
     "describe_image_dataset",
+    "classifier_bundle_info",
     "make_trainer",
     "train_image_classifier",
     "profile_classifier",
@@ -86,12 +91,34 @@ def make_trainer(model: Module, scale: ExperimentScale, epochs: int | None = Non
     return Trainer(model, optimizer, CrossEntropyLoss(), scheduler=scheduler)
 
 
+def classifier_bundle_info(dataset: SyntheticImageClassification) -> dict:
+    """Serving metadata for a classifier trained on ``dataset``.
+
+    Embedded in every checkpoint/bundle the trainer writes: the raw-pixel
+    normalization of the training split, the class labels and the per-sample
+    input shape ``repro serve`` needs to validate and preprocess requests.
+    """
+    return {
+        "normalization": dict(dataset.train_normalization),
+        "classes": [f"class_{index}" for index in range(dataset.num_classes)],
+        "input_shape": [dataset.channels, dataset.image_size, dataset.image_size],
+    }
+
+
 def train_image_classifier(model: Module, dataset: SyntheticImageClassification,
                            scale: ExperimentScale, epochs: int | None = None,
                            learning_rate: float | None = None,
                            quadratic_learning_rate: float | None = None,
-                           augment: bool = True) -> tuple[Trainer, dict]:
-    """Train ``model`` on ``dataset`` and return the trainer plus final test metrics."""
+                           augment: bool = True,
+                           bundle_dir: str | Path | None = None) -> tuple[Trainer, dict]:
+    """Train ``model`` on ``dataset`` and return the trainer plus final test metrics.
+
+    When a bundle directory is active — passed explicitly, or ambiently set by
+    the experiment runner for the duration of a sweep — the trained model is
+    additionally saved there as a self-describing bundle (weights + model spec
+    + normalization stats), under a deterministic name, so every experiment's
+    models come out directly servable by ``repro predict`` / ``repro serve``.
+    """
     epochs = epochs or scale.epochs
     augmentation = standard_cifar_augmentation(scale.augmentation_padding) if augment else None
     loader = DataLoader(dataset.train_images, dataset.train_labels,
@@ -99,10 +126,25 @@ def train_image_classifier(model: Module, dataset: SyntheticImageClassification,
                         augmentation=augmentation, seed=scale.seed)
     trainer = make_trainer(model, scale, epochs=epochs, learning_rate=learning_rate,
                            quadratic_learning_rate=quadratic_learning_rate)
+    trainer.bundle_info = classifier_bundle_info(dataset)
     trainer.fit(loader, epochs, eval_inputs=dataset.test_images,
                 eval_targets=dataset.test_labels)
     final = trainer.evaluate(dataset.test_images, dataset.test_labels) \
         if not trainer.diverged else {"loss": float("inf"), "accuracy": 0.0}
+
+    bundle_dir = Path(bundle_dir) if bundle_dir is not None else active_bundle_dir()
+    if bundle_dir is not None and getattr(model, "model_spec", None) is not None:
+        # Training knobs never reach the model constructor, so they go into
+        # the filename digest: two cells training an identical architecture
+        # under different recipes must not overwrite each other's bundle.
+        discriminator = {"epochs": epochs, "learning_rate": learning_rate,
+                         "quadratic_learning_rate": quadratic_learning_rate,
+                         "augment": augment, "scale_seed": scale.seed}
+        save_bundle(bundle_dir / default_bundle_name(model, discriminator), model,
+                    info={**trainer.bundle_info,
+                          "metrics": {"test_loss": final["loss"],
+                                      "test_accuracy": final["accuracy"]},
+                          "diverged": trainer.diverged})
     return trainer, final
 
 

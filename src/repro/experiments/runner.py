@@ -42,14 +42,22 @@ from ..parallel.executor import JOBS_ENV
 from .config import ExperimentScale, get_scale, scale_from_payload, scale_to_payload
 from .registry import ExperimentSpec, get_spec
 
-__all__ = ["ExperimentOutcome", "config_hash", "artifact_path",
-           "run_experiment", "run_experiment_task", "run_many",
-           "default_cache_dir"]
+__all__ = ["ExperimentOutcome", "config_hash", "artifact_path", "bundle_dir_path",
+           "active_bundle_dir", "run_experiment", "run_experiment_task",
+           "run_many", "default_cache_dir", "BUNDLE_DIR_ENV"]
 
 #: Version of the artifact JSON layout (not of any single experiment).
 #: Bumped to 2 when wall-clock metadata left the artifact (parallel runs must
-#: be byte-identical to sequential ones), invalidating format-1 caches.
-ARTIFACT_FORMAT_VERSION = 2
+#: be byte-identical to sequential ones); to 3 when the meta section gained
+#: the ``bundles`` listing of servable model bundles produced by the run.
+ARTIFACT_FORMAT_VERSION = 3
+
+#: While an experiment driver runs, this environment variable points at the
+#: directory where it (and any grid-cell worker process it fans out to)
+#: should drop servable model bundles.  An environment variable rather than a
+#: Python context so the location survives the spawn boundary of per-model
+#: grids.
+BUNDLE_DIR_ENV = "REPRO_BUNDLE_DIR"
 
 
 def default_cache_dir() -> Path:
@@ -111,6 +119,43 @@ def artifact_path(cache_dir: Path, spec: ExperimentSpec, scale: ExperimentScale,
     return Path(cache_dir) / f"{spec.name}-{scale_tag}-{digest[:12]}.json"
 
 
+def bundle_dir_path(cache_dir: Path, spec: ExperimentSpec, scale: ExperimentScale,
+                    digest: str) -> Path:
+    """Where one experiment configuration's servable bundles live.
+
+    Mirrors :func:`artifact_path` (same ``<name>-<scale>-<hash12>`` key) under
+    ``<cache_dir>/bundles/``, so bundles are invalidated/recomputed exactly
+    when their artifact is.
+    """
+    scale_tag = scale.name if spec.uses_scale else "noscale"
+    return Path(cache_dir) / "bundles" / f"{spec.name}-{scale_tag}-{digest[:12]}"
+
+
+def active_bundle_dir() -> Path | None:
+    """The bundle directory of the currently-running experiment, if any.
+
+    Set by :func:`run_experiment` for the duration of the driver call (and
+    inherited by grid-cell worker processes); drivers and
+    :func:`~repro.experiments.common.train_image_classifier` consult it to
+    decide where — and whether — to save trained models as bundles.
+    """
+    value = os.environ.get(BUNDLE_DIR_ENV)
+    return Path(value) if value else None
+
+
+@contextlib.contextmanager
+def _bundle_environment(path: Path):
+    previous = os.environ.get(BUNDLE_DIR_ENV)
+    os.environ[BUNDLE_DIR_ENV] = str(path)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(BUNDLE_DIR_ENV, None)
+        else:
+            os.environ[BUNDLE_DIR_ENV] = previous
+
+
 def _lock_path(path: Path) -> Path:
     # Locks live in a sidecar directory so the artifact directory itself stays
     # clean (byte-comparable across sweeps).
@@ -170,9 +215,19 @@ def run_experiment(name: str, scale: str | ExperimentScale = "bench",
         if outcome is not None:
             return outcome
 
+        bundle_dir = bundle_dir_path(cache_dir, spec, scale, digest)
         start = time.perf_counter()
-        result = spec.runner(scale) if spec.uses_scale else spec.runner()
+        with _bundle_environment(bundle_dir):
+            result = spec.runner(scale) if spec.uses_scale else spec.runner()
         elapsed = time.perf_counter() - start
+
+        # Bundles the driver (or its grid-cell workers) dropped during the
+        # run, recorded cache-dir-relative with POSIX separators: the listing
+        # is deterministic, so sequential and parallel sweeps still produce
+        # byte-identical artifacts.
+        bundles = sorted(entry.relative_to(cache_dir).as_posix()
+                         for entry in bundle_dir.glob("*.npz")) \
+            if bundle_dir.is_dir() else []
 
         artifact = {
             "meta": {
@@ -183,6 +238,7 @@ def run_experiment(name: str, scale: str | ExperimentScale = "bench",
                 "config_hash": digest,
                 "spec_version": spec.version,
                 "format_version": ARTIFACT_FORMAT_VERSION,
+                "bundles": bundles,
             },
             "result": to_jsonable(result),
         }

@@ -1,0 +1,168 @@
+"""Self-describing model bundles.
+
+A *bundle* is a regular repro ``.npz`` checkpoint that additionally carries a
+``bundle`` section: the model's registry spec (``{"name": ..., "kwargs":
+{...}}``, see :mod:`repro.models.registry`) plus serving metadata —
+input-normalization statistics, class labels, the expected input shape and
+arbitrary info the producer wants to ship with the weights.  That one section
+is what makes the file *self-describing*: :func:`load_bundle` reconstructs
+architecture **and** weights **and** preprocessing without knowing which
+experiment (or which model class) produced the file.
+
+Because the section rides inside the ordinary checkpoint format, every
+checkpoint written by :class:`repro.training.Trainer` for a registered model
+(``best.npz``, ``last.npz``, ``epoch_k.npz``) is automatically a loadable
+bundle — there is no separate export step between training and serving.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from .serialization import to_jsonable
+
+__all__ = ["BUNDLE_FORMAT_VERSION", "Bundle", "bundle_section", "save_bundle",
+           "load_bundle", "default_bundle_name"]
+
+#: Version of the ``bundle`` section layout (independent of the checkpoint
+#: format version).  Bump when the section's schema changes.
+BUNDLE_FORMAT_VERSION = 1
+
+
+def bundle_section(model, info: dict | None = None) -> dict | None:
+    """Build the ``bundle`` checkpoint section for ``model``.
+
+    Returns ``None`` when the model carries no registry spec (such models
+    cannot be reconstructed by name, so their checkpoints stay plain
+    checkpoints).  ``info`` holds JSON-safe serving metadata; the conventional
+    keys consumed by :mod:`repro.serve` are ``normalization`` (``{"mean": ...,
+    "std": ...}``), ``classes`` (label strings) and ``input_shape``
+    (per-sample shape, e.g. ``[3, 32, 32]``).
+    """
+    spec = getattr(model, "model_spec", None)
+    if spec is None:
+        return None
+    section = {"format_version": BUNDLE_FORMAT_VERSION, "spec": to_jsonable(spec)}
+    if info:
+        reserved = {"format_version", "spec"} & set(info)
+        if reserved:
+            raise ValueError(f"bundle info may not override {sorted(reserved)}")
+        section.update(to_jsonable(dict(info)))
+    return section
+
+
+def save_bundle(path, model, info: dict | None = None,
+                extra: dict | None = None) -> Path:
+    """Write ``model`` (weights + spec + serving metadata) as a bundle.
+
+    Raises ``ValueError`` for models without a registry spec — register the
+    model class with :func:`repro.models.register_model` to make it servable.
+    """
+    section = bundle_section(model, info)
+    if section is None:
+        raise ValueError(
+            f"{type(model).__name__} has no model_spec and cannot be bundled; "
+            f"register its builder with repro.models.register_model so the "
+            f"architecture can be reconstructed by name")
+    return save_checkpoint(path, model=model, bundle=section, extra=extra)
+
+
+def default_bundle_name(model, discriminator: dict | None = None) -> str:
+    """Deterministic filename for a model's bundle: ``<spec name>-<digest8>.npz``.
+
+    The digest covers the full spec, so two differently-configured models of
+    the same family never collide, while re-running a deterministic training
+    job reproduces the same name (parallel and sequential sweeps emit
+    byte-comparable artifact listings).  When two models share an identical
+    spec but are *trained* differently (epochs, learning rate, data seed —
+    knobs that never reach the constructor), pass those knobs as
+    ``discriminator`` so their bundles don't overwrite each other.
+    """
+    spec = getattr(model, "model_spec", None)
+    if spec is None:
+        raise ValueError(f"{type(model).__name__} has no model_spec")
+    identity = {"spec": to_jsonable(spec)}
+    if discriminator:
+        identity["discriminator"] = to_jsonable(dict(discriminator))
+    canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:8]
+    return f"{spec['name']}-{digest}.npz"
+
+
+class Bundle:
+    """A loaded bundle: the reconstructed model plus its serving metadata.
+
+    The model arrives in eval mode with weights restored; ``checkpoint``
+    keeps the underlying :class:`~repro.io.checkpoint.Checkpoint` so callers
+    can reach any other section (history, optimizer state) when present.
+    """
+
+    def __init__(self, model, section: dict, checkpoint: Checkpoint,
+                 path: Path | None = None):
+        self.model = model
+        self.section = section
+        self.checkpoint = checkpoint
+        self.path = path
+
+    @property
+    def spec(self) -> dict:
+        return self.section["spec"]
+
+    @property
+    def normalization(self) -> dict | None:
+        return self.section.get("normalization")
+
+    @property
+    def classes(self) -> list[str] | None:
+        return self.section.get("classes")
+
+    @property
+    def input_shape(self) -> tuple | None:
+        shape = self.section.get("input_shape")
+        return tuple(int(dim) for dim in shape) if shape is not None else None
+
+    def info(self) -> dict:
+        """Serving metadata minus the structural keys."""
+        return {key: value for key, value in self.section.items()
+                if key not in ("format_version", "spec")}
+
+    def __repr__(self) -> str:
+        return (f"Bundle(model={self.spec['name']!r}, "
+                f"path={str(self.path) if self.path else None!r})")
+
+
+def load_bundle(path) -> Bundle:
+    """Load a bundle: rebuild the architecture from its spec, restore weights.
+
+    Works on any checkpoint whose producer embedded a ``bundle`` section —
+    ``Trainer.fit``'s ``best.npz``, files written by :func:`save_bundle`, and
+    the per-experiment bundles recorded by the sweep runner — regardless of
+    which experiment or model family it came from.  The returned model is in
+    eval mode, ready for :class:`repro.serve.InferenceSession`.
+    """
+    path = Path(path)
+    checkpoint = load_checkpoint(path)
+    section = checkpoint.get("bundle")
+    if section is None:
+        raise ValueError(
+            f"{path} is a checkpoint but not a model bundle (no 'bundle' "
+            f"section); it was saved for a model without a registry spec")
+    declared = int(section.get("format_version", -1))
+    if declared > BUNDLE_FORMAT_VERSION:
+        raise ValueError(
+            f"bundle {path} has section format {declared}, but this build only "
+            f"supports up to {BUNDLE_FORMAT_VERSION}; refusing to load")
+    if "model" not in checkpoint:
+        raise ValueError(f"bundle {path} has no model weights section")
+
+    # Importing the zoo populates the model registry before spec resolution.
+    import repro.models  # noqa: F401
+    from ..models.registry import build_from_spec
+
+    model = build_from_spec(section["spec"])
+    model.load_state_dict(checkpoint.sections["model"])
+    model.eval()
+    return Bundle(model=model, section=section, checkpoint=checkpoint, path=path)

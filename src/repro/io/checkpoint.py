@@ -69,13 +69,18 @@ def _resolve(value, arrays: dict[int, np.ndarray]):
 
 def save_checkpoint(path, *, model=None, optimizer=None, scheduler=None,
                     loader=None, history=None, rng=None, extra: dict | None = None,
+                    bundle: dict | None = None,
                     version: int = CHECKPOINT_VERSION) -> Path:
     """Write a checkpoint; every component is optional.
 
     ``model``/``optimizer``/``scheduler``/``loader`` must expose
     ``state_dict()``; ``history`` must expose ``to_list()``; ``rng`` is a
     :class:`numpy.random.Generator` whose bit-generator state is stored;
-    ``extra`` is a JSON-serializable dictionary for caller bookkeeping.
+    ``extra`` is a JSON-serializable dictionary for caller bookkeeping;
+    ``bundle`` is the self-describing model section written by
+    :mod:`repro.io.bundle` (model spec + serving metadata), which makes the
+    checkpoint loadable by :func:`repro.io.load_bundle` without knowing the
+    architecture in advance.
     The write is atomic (temp file + rename) so an interrupted save never
     corrupts an existing checkpoint.
     """
@@ -94,6 +99,8 @@ def save_checkpoint(path, *, model=None, optimizer=None, scheduler=None,
         sections["rng"] = rng.bit_generator.state
     if extra is not None:
         sections["extra"] = dict(extra)
+    if bundle is not None:
+        sections["bundle"] = dict(bundle)
 
     arrays: list[np.ndarray] = []
     meta = {"version": version, "sections": _flatten(sections, arrays)}

@@ -1,5 +1,20 @@
-"""Model zoo: ResNets, plain CNNs, MLPs and Transformers with switchable neurons."""
+"""Model zoo: ResNets, plain CNNs, MLPs and Transformers with switchable neurons.
 
+Every model class registers in the model-spec registry (:mod:`.registry`), so
+each instance carries a JSON-safe ``model_spec`` from which the architecture
+can be rebuilt by name — the substrate of self-describing checkpoint bundles
+(:mod:`repro.io.bundle`) and the serving layer (:mod:`repro.serve`).
+"""
+
+from .registry import (
+    ModelSpecError,
+    build_from_spec,
+    build_model,
+    get_model_builder,
+    model_names,
+    register_model,
+    spec_of,
+)
 from .resnet import (
     BasicBlock,
     CifarResNet,
@@ -24,6 +39,13 @@ from .transformer import (
 )
 
 __all__ = [
+    "ModelSpecError",
+    "build_from_spec",
+    "build_model",
+    "get_model_builder",
+    "model_names",
+    "register_model",
+    "spec_of",
     "BasicBlock",
     "CifarResNet",
     "ResNet18",

@@ -11,10 +11,12 @@ import numpy as np
 from .. import nn
 from ..quadratic.factory import make_conv, make_dense
 from ..tensor import Tensor
+from .registry import register_model
 
 __all__ = ["SimpleCNN", "MLPClassifier"]
 
 
+@register_model("simple_cnn")
 class SimpleCNN(nn.Module):
     """Three convolutional stages followed by a linear classifier.
 
@@ -49,6 +51,7 @@ class SimpleCNN(nn.Module):
         return self.classifier(self.pool(self.features(x)))
 
 
+@register_model("mlp_classifier")
 class MLPClassifier(nn.Module):
     """Multi-layer perceptron with switchable neuron type in the hidden layers."""
 

@@ -26,6 +26,7 @@ import numpy as np
 from .. import nn
 from ..quadratic.factory import make_conv
 from ..tensor import Tensor
+from .registry import register_model
 
 __all__ = [
     "BasicBlock",
@@ -99,6 +100,7 @@ class BasicBlock(nn.Module):
         return self.relu(out + self.shortcut(x))
 
 
+@register_model("cifar_resnet")
 class CifarResNet(nn.Module):
     """CIFAR-style ResNet of depth ``6n + 2`` with configurable neuron type.
 
@@ -182,6 +184,7 @@ resnet56 = _named_cifar_resnet(56)
 resnet110 = _named_cifar_resnet(110)
 
 
+@register_model("resnet18")
 class ResNet18(nn.Module):
     """ResNet-18-style network (4 stages of two basic blocks each).
 

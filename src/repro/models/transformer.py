@@ -18,6 +18,7 @@ from .. import nn
 from ..quadratic.factory import make_dense
 from ..tensor import Tensor, no_grad
 from ..tensor import functional as F
+from .registry import register_model
 
 __all__ = [
     "sinusoidal_positions",
@@ -169,6 +170,7 @@ class DecoderLayer(nn.Module):
         return self.feed_forward_norm(x + self.dropout(self.feed_forward(x)))
 
 
+@register_model("transformer")
 class Transformer(nn.Module):
     """Encoder–decoder Transformer for sequence-to-sequence translation.
 

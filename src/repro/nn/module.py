@@ -38,6 +38,12 @@ class Parameter(Tensor):
 class Module:
     """Base class for all layers and models."""
 
+    #: Self-describing spec ``{"name": ..., "kwargs": {...}}`` attached by the
+    #: model registry (:mod:`repro.models.registry`) when the module was built
+    #: by a registered builder; ``None`` means "not reconstructible by name"
+    #: and such modules cannot be saved as servable bundles.
+    model_spec: dict | None = None
+
     def __init__(self):
         self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
         self._modules: "OrderedDict[str, Module]" = OrderedDict()

@@ -29,7 +29,8 @@ from .baselines import (
 from .efficient import EfficientQuadraticConv2d, EfficientQuadraticLinear
 from .kervolution import KervolutionConv2d, KervolutionLinear
 
-__all__ = ["CONV_NEURON_TYPES", "DENSE_NEURON_TYPES", "make_conv", "make_dense"]
+__all__ = ["CONV_NEURON_TYPES", "DENSE_NEURON_TYPES", "make_conv", "make_dense",
+           "neuron_conv2d", "neuron_linear"]
 
 
 def make_conv(neuron_type: str, in_channels: int, out_channels: int, kernel_size: int,
@@ -145,3 +146,36 @@ DENSE_NEURON_TYPES = {
     "factorized": _dense_factorized,
     "kervolution": _dense_kervolution,
 }
+
+
+# -- servable single-layer builders -------------------------------------------
+#
+# Seed-parameterized wrappers around make_conv / make_dense registered in the
+# model-spec registry, so a *single* neuron layer of any type can be saved as
+# a self-describing bundle and reconstructed by name — useful for layer-level
+# response analyses and micro-serving without wrapping the layer in a model.
+
+# Imported below the neuron tables (not at module top) because the model zoo
+# imports this factory: repro.models.registry itself has no dependency on the
+# zoo, so this late import closes the cycle safely.
+from ..models.registry import register_model  # noqa: E402
+
+
+@register_model("neuron_conv2d")
+def neuron_conv2d(neuron_type: str = "proposed", in_channels: int = 3,
+                  out_channels: int = 8, kernel_size: int = 3, stride: int = 1,
+                  padding: int = 0, rank: int = 9, bias: bool = True, seed: int = 0,
+                  **kwargs) -> Module:
+    """Servable convolutional layer of any registered neuron type."""
+    return make_conv(neuron_type, in_channels, out_channels, kernel_size,
+                     stride=stride, padding=padding, rank=rank, bias=bias,
+                     rng=np.random.default_rng(seed), **kwargs)
+
+
+@register_model("neuron_linear")
+def neuron_linear(neuron_type: str = "proposed", in_features: int = 16,
+                  out_features: int = 8, rank: int = 9, bias: bool = True,
+                  seed: int = 0, **kwargs) -> Module:
+    """Servable dense layer of any registered neuron type."""
+    return make_dense(neuron_type, in_features, out_features, rank=rank, bias=bias,
+                      rng=np.random.default_rng(seed), **kwargs)

@@ -1,0 +1,107 @@
+"""Stable inference API: load a bundle, predict batches, serve over HTTP.
+
+This package is the grad-free counterpart of :mod:`repro.training` — the
+paper's efficiency story is ultimately an *inference* story, and this is the
+entry point that measures and serves it:
+
+* :class:`InferenceSession` — eval-mode, ``no_grad``, micro-batched forwards
+  with warm buffer caches and a zero-graph-construction guarantee.
+* :class:`Pipeline` — raw inputs in (normalization, single-sample promotion),
+  softmax/top-k records out.
+* :class:`Predictor` — the façade combining both; ``repro.load(path)``
+  returns one.
+* :mod:`repro.serve.http` — a stdlib ``ThreadingHTTPServer`` exposing
+  ``GET /healthz`` and ``POST /predict`` over a shared session.
+
+The one-liner::
+
+    import repro
+    predictor = repro.load("artifacts/bundles/fig4-smoke-....../cifar_resnet-....npz")
+    classes = predictor.predict(batch)          # (N,) class indices
+    records = predictor.predict_topk(batch, 3)  # labeled top-3 with probabilities
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .http import make_server, serve
+from .pipeline import Pipeline, softmax, top_k
+from .session import InferenceSession
+
+__all__ = ["InferenceSession", "Pipeline", "Predictor", "load",
+           "make_server", "serve", "softmax", "top_k"]
+
+
+class Predictor:
+    """High-level inference façade over one model: session + pipeline.
+
+    Construct directly from an in-memory model, or — the common path — via
+    :func:`load` / :meth:`from_bundle`, which pull normalization stats, class
+    labels and the expected input shape from the bundle metadata.
+    """
+
+    def __init__(self, model, normalization: dict | None = None,
+                 classes: list[str] | None = None, input_shape: tuple | None = None,
+                 max_batch: int = 64, warm: bool = False):
+        self.session = InferenceSession(model, max_batch=max_batch)
+        self.pipeline = Pipeline(self.session, normalization=normalization,
+                                 classes=classes, input_shape=input_shape)
+        if warm:
+            self.session.warm(self.pipeline.input_shape)
+
+    @classmethod
+    def from_bundle(cls, bundle_or_path, max_batch: int = 64,
+                    warm: bool = False) -> "Predictor":
+        """Build a predictor from a loaded bundle or a bundle path."""
+        return cls(bundle_or_path, max_batch=max_batch, warm=warm)
+
+    # -- convenience properties -------------------------------------------------
+
+    @property
+    def model(self):
+        return self.session.model
+
+    @property
+    def classes(self) -> list[str] | None:
+        return self.pipeline.classes
+
+    @property
+    def input_shape(self) -> tuple | None:
+        return self.pipeline.input_shape
+
+    # -- prediction -------------------------------------------------------------
+
+    def predict(self, inputs, normalize: bool = True) -> np.ndarray:
+        """Predicted class index per sample, shape ``(N,)``."""
+        return self.predict_logits(inputs, normalize=normalize).argmax(axis=-1)
+
+    def predict_logits(self, inputs, normalize: bool = True) -> np.ndarray:
+        """Raw model outputs, shape ``(N, num_classes)``."""
+        return self.session.predict(self.pipeline.preprocess(inputs, normalize=normalize))
+
+    def predict_proba(self, inputs, normalize: bool = True) -> np.ndarray:
+        """Softmax class probabilities, shape ``(N, num_classes)``."""
+        return softmax(self.predict_logits(inputs, normalize=normalize))
+
+    def predict_topk(self, inputs, k: int = 5, normalize: bool = True) -> list[dict]:
+        """Labeled top-``k`` records per sample (the HTTP response payload)."""
+        return self.pipeline.predict(inputs, k=k, normalize=normalize)
+
+    def describe(self) -> dict:
+        """Model + session summary (served verbatim on ``/healthz``)."""
+        info = self.session.describe()
+        if self.input_shape is not None:
+            info["input_shape"] = list(self.input_shape)
+        if self.classes is not None:
+            info["num_classes"] = len(self.classes)
+        return info
+
+
+def load(path, max_batch: int = 64, warm: bool = True) -> Predictor:
+    """Load a bundle from ``path`` into a ready-to-serve :class:`Predictor`.
+
+    Re-exported as :func:`repro.load`; warming is on by default so the first
+    request after process start doesn't pay the buffer-allocation cost.
+    """
+    return Predictor.from_bundle(path, max_batch=max_batch, warm=warm)

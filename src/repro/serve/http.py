@@ -1,0 +1,139 @@
+"""Minimal stdlib HTTP front end for a predictor.
+
+``repro serve <bundle>`` builds a :class:`http.server.ThreadingHTTPServer`
+around one shared :class:`~repro.serve.Predictor`.  Concurrency model: the
+server spawns a thread per connection, JSON parsing and pre/post-processing
+run unlocked (pure functions), and the single stateful stage — the model
+forward — is serialized by the inference session's internal lock, so any
+number of handler threads can safely share one warm session (and its buffer
+caches).
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness + model summary: spec name, parameter count, input shape,
+    samples served.  Returns 200 as soon as the server can answer at all.
+``POST /predict``
+    Body ``{"inputs": <nested array>, "top_k": <int, optional>,
+    "normalize": <bool, optional>}``.  ``inputs`` is one sample or a batch of
+    raw (un-normalized) values; the response is ``{"predictions": [...],
+    "count": N}`` with one top-k record per sample.  Malformed requests get a
+    400 with an ``error`` message; unexpected failures a 500.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["make_server", "serve", "PredictionHandler"]
+
+#: Largest accepted request body (64 MiB) — a backstop against a single
+#: request buffering unbounded memory, not a tuning knob.
+MAX_REQUEST_BYTES = 64 * 1024 * 1024
+
+
+class PredictionHandler(BaseHTTPRequestHandler):
+    """Routes ``/healthz`` and ``/predict`` onto the server's predictor."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 (stdlib signature)
+        if not getattr(self.server, "quiet", False):
+            super().log_message(format, *args)
+
+    # -- endpoints -------------------------------------------------------------
+
+    def do_GET(self):
+        if self.path.rstrip("/") in ("", "/healthz"):
+            self._send_json(200, {"status": "ok", **self.server.predictor.describe()})
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}; "
+                                           f"endpoints: GET /healthz, POST /predict"})
+
+    def do_POST(self):
+        # Read (and thereby drain) the declared body up front: replying while
+        # unread body bytes sit on a keep-alive connection would make the
+        # next request parse as garbage.  Oversized/undeclared bodies are the
+        # one case we refuse to drain — close the connection instead.
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_REQUEST_BYTES:
+            self.close_connection = True
+            self._send_json(400, {"error": f"Content-Length {self.headers.get('Content-Length')!r} "
+                                           f"is invalid or exceeds the "
+                                           f"{MAX_REQUEST_BYTES}-byte limit"})
+            return
+        body = self.rfile.read(length) if length else b""
+
+        if self.path != "/predict":
+            self._send_json(404, {"error": f"unknown path {self.path!r}; "
+                                           f"endpoints: GET /healthz, POST /predict"})
+            return
+        try:
+            if not body:
+                raise ValueError("request body is empty")
+            request = json.loads(body.decode("utf-8"))
+            if not isinstance(request, dict) or "inputs" not in request:
+                raise ValueError('request must be a JSON object with an "inputs" key')
+            k = int(request.get("top_k", 1))
+            normalize = bool(request.get("normalize", True))
+        except (ValueError, json.JSONDecodeError, UnicodeDecodeError) as error:
+            self._send_json(400, {"error": str(error)})
+            return
+
+        try:
+            predictions = self.server.predictor.predict_topk(
+                request["inputs"], k=k, normalize=normalize)
+        except ValueError as error:  # shape/validation problems are the client's
+            self._send_json(400, {"error": str(error)})
+            return
+        except Exception as error:  # noqa: BLE001 — a serving loop must not die
+            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+            return
+        self._send_json(200, {"predictions": predictions, "count": len(predictions)})
+
+
+def make_server(predictor, host: str = "127.0.0.1", port: int = 8000,
+                quiet: bool = False) -> ThreadingHTTPServer:
+    """Build (but do not start) a threading HTTP server around ``predictor``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``), which is what the tests use.
+    """
+    server = ThreadingHTTPServer((host, port), PredictionHandler)
+    server.daemon_threads = True
+    server.predictor = predictor
+    server.quiet = quiet
+    return server
+
+
+def serve(bundle_path, host: str = "127.0.0.1", port: int = 8000,
+          max_batch: int = 64, quiet: bool = False) -> None:
+    """Load a bundle and serve it until interrupted (the CLI entry point)."""
+    from . import load
+
+    predictor = load(bundle_path, max_batch=max_batch)
+    server = make_server(predictor, host=host, port=port, quiet=quiet)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"serving {bundle_path} on http://{bound_host}:{bound_port} "
+          f"(endpoints: GET /healthz, POST /predict; Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

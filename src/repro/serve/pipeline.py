@@ -1,0 +1,111 @@
+"""Pre/post-processing around an inference session.
+
+The session speaks raw float arrays and logits; this module turns it into a
+classification service:
+
+* **preprocess** — accept nested lists or arrays, promote a single sample to a
+  batch of one (when the expected ``input_shape`` is known), cast to float32
+  and apply the bundle's training-time normalization so callers can send raw
+  pixel values.
+* **postprocess** — stable softmax over the logits, then top-k selection with
+  class labels, producing JSON-ready prediction records.
+
+Everything here is pure NumPy on plain arrays — no tensors, no graph — so the
+only locked, stateful stage of a request is the session forward itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "top_k", "Pipeline"]
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax over plain NumPy logits."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def top_k(probabilities: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Indices and probabilities of the ``k`` largest entries per row.
+
+    Returns ``(indices, values)`` of shape ``(batch, k)``, sorted by
+    descending probability (ties broken by ascending class index, so the
+    output is fully deterministic).
+    """
+    probabilities = np.atleast_2d(np.asarray(probabilities))
+    k = max(1, min(int(k), probabilities.shape[-1]))
+    # argsort on (-p, index) via stable sort of -p: identical probabilities
+    # keep ascending index order.
+    order = np.argsort(-probabilities, axis=-1, kind="stable")[:, :k]
+    values = np.take_along_axis(probabilities, order, axis=-1)
+    return order, values
+
+
+class Pipeline:
+    """Normalization-in, top-k-out classification pipeline over a session.
+
+    Parameters mirror the bundle metadata and default from the session's
+    bundle when one is attached; every knob can be overridden for models
+    served without a bundle (e.g. an in-memory model in tests).
+    """
+
+    def __init__(self, session, normalization: dict | None = None,
+                 classes: list[str] | None = None,
+                 input_shape: tuple | None = None):
+        bundle = getattr(session, "bundle", None)
+        self.session = session
+        self.normalization = normalization if normalization is not None else \
+            (bundle.normalization if bundle is not None else None)
+        self.classes = classes if classes is not None else \
+            (bundle.classes if bundle is not None else None)
+        self.input_shape = tuple(input_shape) if input_shape is not None else \
+            (bundle.input_shape if bundle is not None else None)
+
+    # -- stages ---------------------------------------------------------------
+
+    def preprocess(self, inputs, normalize: bool = True) -> np.ndarray:
+        """Validate, batch, cast and normalize raw inputs."""
+        array = np.asarray(inputs, dtype=np.float32)
+        if self.input_shape is not None:
+            if array.shape == self.input_shape:
+                array = array[None, ...]  # single sample → batch of one
+            elif array.shape[1:] != self.input_shape:
+                raise ValueError(
+                    f"input shape {tuple(array.shape)} does not match the "
+                    f"model's per-sample shape {self.input_shape} (batched: "
+                    f"{(-1, *self.input_shape)})")
+        if normalize and self.normalization is not None:
+            mean = np.float32(self.normalization["mean"])
+            std = np.float32(self.normalization["std"])
+            array = (array - mean) / std
+        return array
+
+    def postprocess(self, logits: np.ndarray, k: int = 1) -> list[dict]:
+        """Turn a batch of logits into JSON-ready prediction records."""
+        probabilities = softmax(logits)
+        indices, values = top_k(probabilities, k)
+        records = []
+        for row_indices, row_values in zip(indices, values):
+            entries = [{"class_index": int(index),
+                        "label": self._label(int(index)),
+                        "probability": float(value)}
+                       for index, value in zip(row_indices, row_values)]
+            records.append({**entries[0], "top_k": entries})
+        return records
+
+    def _label(self, index: int) -> str:
+        if self.classes is not None and 0 <= index < len(self.classes):
+            return str(self.classes[index])
+        return f"class_{index}"
+
+    # -- end to end -------------------------------------------------------------
+
+    def predict(self, inputs, k: int = 1, normalize: bool = True) -> list[dict]:
+        """Full request path: preprocess → session forward → top-k records."""
+        batch = self.preprocess(inputs, normalize=normalize)
+        logits = self.session.predict(batch)
+        return self.postprocess(logits, k=k)

@@ -1,0 +1,145 @@
+"""Grad-free, batched inference sessions.
+
+An :class:`InferenceSession` owns one model held permanently in eval mode and
+answers ``predict`` calls on the raw-logits level:
+
+* **no graph, provably** — every forward runs under
+  :class:`~repro.tensor.no_grad`, and the session asserts through the
+  engine's graph-node counter that *zero* autograd nodes were constructed.
+  A model whose forward sneaks graph state past inference mode fails loudly
+  instead of silently serving at training-path cost.
+* **micro-batching** — arbitrarily large requests are split into chunks of at
+  most ``max_batch`` rows, bounding peak activation memory while keeping each
+  chunk large enough for the engine's batched kernels to pay off.
+* **warm buffer caches** — inference-mode convolutions route their im2col
+  expansion through the engine's shared column cache
+  (:data:`repro.tensor.column_cache`); :meth:`warm` runs a throwaway forward
+  so the first real request doesn't pay the allocation cost.
+* **thread safety** — a lock serializes forwards, making one session safely
+  shareable across the threads of :mod:`repro.serve.http`.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from ..nn.module import Module
+from ..tensor import Tensor, no_grad
+from ..tensor.engine import graph_nodes_created
+
+__all__ = ["InferenceSession"]
+
+
+class InferenceSession:
+    """Batched, no-grad prediction over a model or a loaded bundle.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.nn.Module`, a loaded :class:`~repro.io.Bundle`, or a
+        path to a bundle ``.npz`` on disk.
+    max_batch:
+        Micro-batch size; requests larger than this are chunked.
+    strict_no_graph:
+        Assert after every forward that no autograd graph was constructed
+        (cheap: one integer comparison).  Disable only if a custom model
+        legitimately builds graph state during inference.
+    """
+
+    def __init__(self, model, max_batch: int = 64, strict_no_graph: bool = True):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.bundle = None
+        if isinstance(model, (str, Path)):
+            from ..io.bundle import load_bundle
+
+            model = load_bundle(model)
+        if not isinstance(model, Module):  # a Bundle (duck-typed: has .model)
+            self.bundle = model
+            model = model.model
+        self.model = model.eval()
+        self.max_batch = int(max_batch)
+        self.strict_no_graph = strict_no_graph
+        self.batches_served = 0
+        self.samples_served = 0
+        self._lock = threading.Lock()
+
+    # -- core ----------------------------------------------------------------
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Model outputs (logits) for a batch of inputs, computed grad-free.
+
+        ``inputs`` must already be batched (leading batch dimension) and
+        preprocessed; :class:`repro.serve.Pipeline` handles normalization and
+        single-sample promotion.  Thread-safe.
+        """
+        inputs = np.asarray(inputs)
+        if inputs.ndim < 2:
+            raise ValueError(
+                f"predict expects a batched array (leading batch dimension), "
+                f"got shape {tuple(inputs.shape)}")
+        with self._lock:
+            outputs = [self._forward(chunk)
+                       for chunk in self._micro_batches(inputs)]
+            self.batches_served += len(outputs)
+            self.samples_served += len(inputs)
+        return outputs[0] if len(outputs) == 1 else np.concatenate(outputs, axis=0)
+
+    @no_grad()
+    def _forward(self, chunk: np.ndarray) -> np.ndarray:
+        before = graph_nodes_created()
+        out = self.model(Tensor(chunk)).data
+        if self.strict_no_graph:
+            created = graph_nodes_created() - before
+            if created:
+                raise RuntimeError(
+                    f"inference forward constructed {created} autograd graph "
+                    f"node(s) despite no_grad; the model is doing graph work "
+                    f"outside the engine's gradient switch")
+        return out
+
+    def _micro_batches(self, inputs: np.ndarray):
+        for start in range(0, len(inputs), self.max_batch):
+            yield inputs[start:start + self.max_batch]
+
+    # -- cache warming ---------------------------------------------------------
+
+    def warm(self, input_shape: tuple | None = None,
+             batch_sizes: tuple[int, ...] | None = None) -> bool:
+        """Run throwaway forwards to populate the engine's buffer caches.
+
+        ``input_shape`` is the per-sample shape; when omitted it is taken from
+        the session's bundle metadata.  ``batch_sizes`` defaults to
+        ``(max_batch,)`` — the shape the steady-state traffic will hit.
+        Returns ``False`` (no-op) when no input shape is known.
+        """
+        if input_shape is None and self.bundle is not None:
+            input_shape = self.bundle.input_shape
+        if input_shape is None:
+            return False
+        with self._lock:
+            for batch in batch_sizes or (self.max_batch,):
+                self._forward(np.zeros((batch, *input_shape), dtype=np.float32))
+        return True
+
+    # -- introspection ---------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Session + model summary (the backbone of ``/healthz``)."""
+        spec = getattr(self.model, "model_spec", None)
+        info = {
+            "model": spec["name"] if spec else type(self.model).__name__,
+            "parameters": self.model.num_parameters(),
+            "max_batch": self.max_batch,
+            "batches_served": self.batches_served,
+            "samples_served": self.samples_served,
+        }
+        if self.bundle is not None:
+            if self.bundle.input_shape is not None:
+                info["input_shape"] = list(self.bundle.input_shape)
+            if self.bundle.classes is not None:
+                info["num_classes"] = len(self.bundle.classes)
+        return info

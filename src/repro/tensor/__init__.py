@@ -20,7 +20,12 @@ Public surface:
 """
 
 from . import engine, ops
-from .engine import add_op_timing_hook, apply_op, remove_op_timing_hook
+from .engine import (
+    add_op_timing_hook,
+    apply_op,
+    graph_nodes_created,
+    remove_op_timing_hook,
+)
 from .ops import register_op, op_names, column_cache
 from .tensor import Tensor, no_grad, is_grad_enabled, unbroadcast, DEFAULT_DTYPE
 from . import functional
@@ -47,6 +52,7 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "graph_nodes_created",
     "unbroadcast",
     "DEFAULT_DTYPE",
     "engine",

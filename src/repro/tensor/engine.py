@@ -30,6 +30,7 @@ caller may still hold.
 
 from __future__ import annotations
 
+import functools
 from time import perf_counter
 
 import numpy as np
@@ -41,6 +42,7 @@ __all__ = [
     "backward",
     "no_grad",
     "is_grad_enabled",
+    "graph_nodes_created",
     "add_op_timing_hook",
     "remove_op_timing_hook",
 ]
@@ -60,12 +62,23 @@ _TIMING_HOOKS: list = []
 # ---------------------------------------------------------------------------
 
 class no_grad:
-    """Context manager that disables graph construction.
+    """Context manager *and* decorator that disables graph construction.
 
     Inside a ``with no_grad():`` block, operations on tensors do not record
     backward state, which makes inference cheaper and prevents accidental
     gradient accumulation during evaluation.  Nesting is supported; each
     block restores the mode that was active when it was entered.
+
+    Applied as a decorator (``@no_grad()``), the wrapped function runs
+    entirely in inference mode — the serving layer uses this on its hot
+    prediction paths::
+
+        @no_grad()
+        def predict(model, batch):
+            return model(batch)
+
+    Each *call* of the wrapped function enters a fresh block, so decorated
+    functions are reentrant and safe to nest with explicit ``with`` blocks.
     """
 
     def __enter__(self):
@@ -79,10 +92,34 @@ class no_grad:
         _GRAD_ENABLED = self._previous
         return False
 
+    def __call__(self, function):
+        @functools.wraps(function)
+        def wrapped(*args, **kwargs):
+            with no_grad():
+                return function(*args, **kwargs)
+        return wrapped
+
 
 def is_grad_enabled() -> bool:
     """Return ``True`` when operations record the autograd graph."""
     return _GRAD_ENABLED
+
+
+#: Monotonic count of autograd graph nodes recorded by :func:`apply_op`.
+#: Inference paths assert a zero delta across a forward pass to prove they
+#: never build graph state (see :class:`repro.serve.InferenceSession`).
+_GRAPH_NODES_CREATED = 0
+
+
+def graph_nodes_created() -> int:
+    """Total autograd graph nodes constructed so far in this process.
+
+    Only nodes that actually record backward state count — operations run
+    under :class:`no_grad` (or on tensors that do not require grad) leave the
+    counter untouched, which is exactly what makes the counter useful: take
+    the difference across a code region to assert it built *zero* graph.
+    """
+    return _GRAPH_NODES_CREATED
 
 
 # ---------------------------------------------------------------------------
@@ -135,6 +172,8 @@ def apply_op(name: str, *inputs, **kwargs):
     out = tensor_cls(data, requires_grad=requires_grad,
                      _parents=tensors if requires_grad else (), _op=name)
     if requires_grad:
+        global _GRAPH_NODES_CREATED
+        _GRAPH_NODES_CREATED += 1
         out._ctx = ctx
     return out
 

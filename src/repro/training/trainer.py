@@ -18,6 +18,7 @@ from pathlib import Path
 import numpy as np
 
 from ..data.dataloader import DataLoader
+from ..io.bundle import bundle_section
 from ..io.checkpoint import load_checkpoint, save_checkpoint
 from ..metrics.accuracy import accuracy
 from ..nn.module import Module
@@ -62,6 +63,10 @@ class Trainer:
         self.best_metric: float | None = None
         self.best_epoch: int | None = None
         self.stopped_early = False
+        #: Serving metadata embedded in every checkpoint's bundle section when
+        #: the model carries a registry spec: normalization stats, class
+        #: labels, input shape (see :func:`repro.io.bundle.bundle_section`).
+        self.bundle_info: dict = {}
 
     # -- single step / epoch ----------------------------------------------------
 
@@ -154,7 +159,14 @@ class Trainer:
 
     def save_checkpoint(self, path, loader: DataLoader | None = None,
                         epoch: int | None = None) -> Path:
-        """Write the full training state (model/optimizer/scheduler/loader/history)."""
+        """Write the full training state (model/optimizer/scheduler/loader/history).
+
+        When the model was built through the registry, the checkpoint also
+        embeds a self-describing bundle section (model spec +
+        :attr:`bundle_info`), so ``best.npz``/``last.npz`` are directly
+        loadable by :func:`repro.io.load_bundle` and servable without any
+        knowledge of the producing experiment.
+        """
         return save_checkpoint(
             path,
             model=self.model,
@@ -162,6 +174,7 @@ class Trainer:
             scheduler=self.scheduler,
             loader=loader,
             history=self.history,
+            bundle=bundle_section(self.model, self.bundle_info),
             extra={
                 "epoch": epoch if epoch is not None else len(self.history),
                 "diverged": self.diverged,

@@ -17,6 +17,7 @@ from repro.tensor import (
     Tensor,
     apply_op,
     column_cache,
+    graph_nodes_created,
     is_grad_enabled,
     no_grad,
     op_names,
@@ -44,6 +45,65 @@ class TestGradMode:
             outer = x * 3
         assert not inner.requires_grad and not outer.requires_grad
         assert inner._parents == () and outer._parents == ()
+
+    def test_no_grad_as_decorator(self):
+        x = Tensor([2.0], requires_grad=True)
+
+        @no_grad()
+        def run(value):
+            assert not is_grad_enabled()
+            return value * 3
+
+        out = run(x)
+        assert not out.requires_grad and out._parents == ()
+        assert is_grad_enabled()  # mode restored after the call
+
+    def test_no_grad_decorator_restores_mode_on_exception(self):
+        @no_grad()
+        def boom():
+            raise RuntimeError("inference failed")
+
+        with pytest.raises(RuntimeError, match="inference failed"):
+            boom()
+        assert is_grad_enabled()
+
+    def test_no_grad_decorator_nests_with_context_manager(self):
+        @no_grad()
+        def run():
+            return is_grad_enabled()
+
+        with no_grad():
+            assert run() is False
+            # Leaving the decorated call must keep the outer block's mode.
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_decorator_preserves_metadata(self):
+        @no_grad()
+        def documented():
+            """docs survive wrapping"""
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "docs survive wrapping"
+
+
+class TestGraphNodeCounter:
+    def test_counts_only_recorded_nodes(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        constant = Tensor([3.0, 4.0])
+        before = graph_nodes_created()
+        (x * 2 + 1).sum()           # three recorded nodes: mul, add, sum
+        assert graph_nodes_created() - before == 3
+        before = graph_nodes_created()
+        constant * 2                # no requires_grad input → nothing recorded
+        assert graph_nodes_created() == before
+
+    def test_no_grad_region_creates_zero_nodes(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        before = graph_nodes_created()
+        with no_grad():
+            ((x * 2 + 1) ** 2).sum()
+        assert graph_nodes_created() == before
 
 
 class TestUnbroadcastMixed:

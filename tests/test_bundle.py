@@ -1,0 +1,186 @@
+"""Self-describing bundles: save/load round trips, Trainer integration,
+fresh-process reconstruction and the runner's bundle recording."""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro
+from repro import nn
+from repro.data import DataLoader, SyntheticImageClassification
+from repro.experiments import get_scale
+from repro.experiments.common import train_image_classifier
+from repro.experiments.registry import register, unregister
+from repro.experiments.runner import run_experiment
+from repro.io import (
+    default_bundle_name,
+    load_bundle,
+    load_checkpoint,
+    save_bundle,
+    save_checkpoint,
+)
+from repro.models import SimpleCNN
+from repro.optim import SGD
+from repro.tensor import Tensor
+from repro.training import Trainer
+
+
+def _tiny_model(seed: int = 3) -> SimpleCNN:
+    return SimpleCNN(num_classes=4, neuron_type="proposed", rank=2, base_width=4,
+                     image_size=8, seed=seed)
+
+
+class TestSaveLoad:
+    def test_round_trip_predictions_bit_identical(self, tmp_path):
+        model = _tiny_model()
+        path = save_bundle(tmp_path / "model.npz", model,
+                           info={"normalization": {"mean": 0.5, "std": 2.0},
+                                 "classes": ["a", "b", "c", "d"],
+                                 "input_shape": [3, 8, 8]})
+        bundle = load_bundle(path)
+        assert bundle.spec["name"] == "simple_cnn"
+        assert bundle.normalization == {"mean": 0.5, "std": 2.0}
+        assert bundle.classes == ["a", "b", "c", "d"]
+        assert bundle.input_shape == (3, 8, 8)
+
+        x = Tensor(np.random.default_rng(0).standard_normal((5, 3, 8, 8))
+                   .astype(np.float32))
+        expected = model.eval()(x).data
+        assert np.array_equal(bundle.model(x).data, expected)
+
+    def test_loaded_model_is_in_eval_mode(self, tmp_path):
+        path = save_bundle(tmp_path / "model.npz", _tiny_model())
+        bundle = load_bundle(path)
+        assert all(not module.training for module in bundle.model.modules())
+
+    def test_unregistered_model_cannot_be_bundled(self, tmp_path):
+        with pytest.raises(ValueError, match="register"):
+            save_bundle(tmp_path / "nope.npz", nn.Linear(3, 2))
+
+    def test_plain_checkpoint_rejected_with_clear_error(self, tmp_path):
+        path = save_checkpoint(tmp_path / "plain.npz", model=nn.Linear(3, 2))
+        with pytest.raises(ValueError, match="not a model bundle"):
+            load_bundle(path)
+
+    def test_newer_bundle_format_refused(self, tmp_path):
+        model = _tiny_model()
+        from repro.io.bundle import BUNDLE_FORMAT_VERSION, bundle_section
+
+        section = bundle_section(model)
+        section["format_version"] = BUNDLE_FORMAT_VERSION + 1
+        path = save_checkpoint(tmp_path / "future.npz", model=model, bundle=section)
+        with pytest.raises(ValueError, match="refusing to load"):
+            load_bundle(path)
+
+    def test_info_cannot_shadow_structural_keys(self, tmp_path):
+        with pytest.raises(ValueError, match="spec"):
+            save_bundle(tmp_path / "model.npz", _tiny_model(), info={"spec": {}})
+
+    def test_default_bundle_name_is_deterministic_and_config_sensitive(self):
+        assert default_bundle_name(_tiny_model()) == default_bundle_name(_tiny_model())
+        other = SimpleCNN(num_classes=5, neuron_type="proposed", rank=2,
+                          base_width=4, image_size=8, seed=3)
+        assert default_bundle_name(_tiny_model()) != default_bundle_name(other)
+        assert default_bundle_name(_tiny_model()).startswith("simple_cnn-")
+
+    def test_bundle_name_discriminator_separates_identical_specs(self):
+        # Same architecture trained under different recipes must not collide
+        # into one filename (the recipe never reaches the constructor).
+        model = _tiny_model()
+        short = default_bundle_name(model, {"epochs": 2})
+        long = default_bundle_name(model, {"epochs": 20})
+        assert short != long
+        assert short == default_bundle_name(_tiny_model(), {"epochs": 2})
+
+
+def _fit_tiny_trainer(checkpoint_dir):
+    rng = np.random.default_rng(0)
+    inputs = rng.standard_normal((32, 3, 8, 8)).astype(np.float32)
+    targets = rng.integers(0, 4, 32)
+    model = _tiny_model()
+    trainer = Trainer(model, SGD(model.parameters(), lr=0.05, momentum=0.9),
+                      nn.CrossEntropyLoss())
+    trainer.bundle_info = {"normalization": {"mean": 0.0, "std": 1.0},
+                           "classes": [f"class_{i}" for i in range(4)],
+                           "input_shape": [3, 8, 8]}
+    loader = DataLoader(inputs, targets, batch_size=16, shuffle=True, seed=5)
+    trainer.fit(loader, 2, eval_inputs=inputs, eval_targets=targets,
+                checkpoint_dir=checkpoint_dir, checkpoint_every=1)
+    return trainer
+
+
+@pytest.mark.slow
+class TestTrainerBundles:
+    def test_best_checkpoint_is_a_loadable_bundle(self, tmp_path):
+        trainer = _fit_tiny_trainer(tmp_path)
+        bundle = load_bundle(tmp_path / "best.npz")
+        assert bundle.spec["name"] == "simple_cnn"
+        assert bundle.input_shape == (3, 8, 8)
+        x = Tensor(np.random.default_rng(1).standard_normal((4, 3, 8, 8))
+                   .astype(np.float32))
+        np.testing.assert_array_equal(bundle.model(x).data,
+                                      trainer.model.eval()(x).data)
+        # The bundle section rides inside a full training checkpoint — the
+        # optimizer/history sections are still there for resuming.
+        checkpoint = load_checkpoint(tmp_path / "best.npz")
+        assert "optimizer" in checkpoint and "history" in checkpoint
+
+    def test_fresh_process_predictions_bit_identical(self, tmp_path):
+        """A bundle loaded in a spawned interpreter reproduces the in-process
+        model's predictions byte for byte."""
+        trainer = _fit_tiny_trainer(tmp_path)
+        inputs = np.random.default_rng(2).standard_normal((6, 3, 8, 8)) \
+            .astype(np.float32)
+        np.save(tmp_path / "inputs.npy", inputs)
+        expected = trainer.model.eval()(Tensor(inputs)).data
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        script = (
+            "import sys, numpy as np\n"
+            "import repro\n"
+            "predictor = repro.load(sys.argv[1], warm=False)\n"
+            "inputs = np.load(sys.argv[2])\n"
+            "np.save(sys.argv[3], predictor.predict_logits(inputs, normalize=False))\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path / "best.npz"),
+             str(tmp_path / "inputs.npy"), str(tmp_path / "logits.npy")],
+            capture_output=True, text=True, timeout=120,
+            env={**os.environ, "PYTHONPATH": src})
+        assert completed.returncode == 0, completed.stderr
+        fresh = np.load(tmp_path / "logits.npy")
+        assert fresh.tobytes() == expected.tobytes()
+
+
+def _bundle_probe_runner(scale):
+    dataset = SyntheticImageClassification(num_classes=4, image_size=8,
+                                           train_size=32, test_size=16, seed=0)
+    model = _tiny_model()
+    _, metrics = train_image_classifier(model, dataset, scale, epochs=1)
+    return {"rows": [metrics], "report": "bundle probe"}
+
+
+@pytest.mark.slow
+class TestRunnerBundleRecording:
+    def test_runner_records_servable_bundles_in_artifact_meta(self, tmp_path):
+        register(name="_bundle_probe", artifact="Test", title="bundle probe",
+                 runner=_bundle_probe_runner)
+        try:
+            outcome = run_experiment("_bundle_probe", scale=get_scale("smoke"),
+                                     cache_dir=tmp_path)
+            bundles = outcome.artifact["meta"]["bundles"]
+            assert len(bundles) == 1 and bundles[0].startswith("bundles/")
+            bundle = load_bundle(tmp_path / bundles[0])
+            assert bundle.spec["name"] == "simple_cnn"
+            assert bundle.normalization is not None
+            assert bundle.input_shape == (3, 8, 8)
+            # The artifact JSON on disk carries the same listing (it is what
+            # `repro predict` users read to find servable models).
+            artifact = json.loads(outcome.path.read_text())
+            assert artifact["meta"]["bundles"] == bundles
+        finally:
+            unregister("_bundle_probe")

@@ -62,6 +62,38 @@ class TestTrainEvalMode:
         model.train()
         assert all(module.training for module in model.modules())
 
+    def test_train_and_eval_return_self_for_chaining(self):
+        model = nn.Sequential(TinyBlock(), nn.Dropout(0.5))
+        assert model.eval() is model
+        assert model.train() is model
+        assert model.train(False) is model
+        # The chained style call sites rely on: mode-switch then use, inline.
+        out = model.eval()(Tensor(np.ones((2, 4), dtype=np.float32)))
+        assert out.shape == (2, 3)
+
+    def test_eval_forward_is_deterministic_with_dropout_and_batchnorm(self):
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(
+            nn.Linear(4, 8, rng=rng),
+            nn.BatchNorm1d(8),
+            nn.Dropout(0.5, rng=np.random.default_rng(1)),
+            nn.Linear(8, 3, rng=rng),
+        )
+        x = np.random.default_rng(2).standard_normal((6, 4)).astype(np.float32)
+
+        # Train-mode forwards differ (dropout draws fresh masks) and move the
+        # BatchNorm running statistics.
+        train_a = model.train()(Tensor(x)).data.copy()
+        train_b = model(Tensor(x)).data.copy()
+        assert not np.array_equal(train_a, train_b)
+
+        # Eval-mode forwards are byte-identical: dropout is the identity and
+        # BatchNorm reads (without updating) its running statistics.
+        eval_a = model.eval()(Tensor(x)).data.copy()
+        eval_b = model(Tensor(x)).data.copy()
+        assert np.array_equal(eval_a, eval_b)
+        assert eval_a.tobytes() == eval_b.tobytes()
+
 
 class TestStateDict:
     def test_roundtrip(self):

@@ -221,7 +221,7 @@ class TestCLI:
         json_path = tmp_path / "bench.json"
         assert cli.main(["bench", "_probe", "--scale", "smoke",
                          "--cache-dir", str(tmp_path), "--skip-fused",
-                         "--output", str(json_path)]) == 0
+                         "--skip-inference", "--output", str(json_path)]) == 0
         summary = json.loads(json_path.read_text())
         assert summary["scale"] == "smoke"
         assert summary["figure_repros"]["_probe"]["rounds"] == 1
@@ -230,7 +230,8 @@ class TestCLI:
     def test_bench_warms_the_cache(self, capsys, tmp_path, counting_spec):
         _, runner = counting_spec
         assert cli.main(["bench", "_probe", "--scale", "smoke", "--skip-fused",
-                         "--cache-dir", str(tmp_path), "--output", ""]) == 0
+                         "--skip-inference", "--cache-dir", str(tmp_path),
+                         "--output", ""]) == 0
         assert runner.calls == 1
         # The forced bench run wrote through the cache: a subsequent run hits.
         assert cli.main(["run", "_probe", "--scale", "smoke",
@@ -240,10 +241,30 @@ class TestCLI:
 
     def test_bench_fused_gate(self, capsys, tmp_path, counting_spec):
         common = ["bench", "_probe", "--scale", "smoke", "--cache-dir", str(tmp_path),
-                  "--output", "", "--rounds", "3"]
+                  "--output", "", "--rounds", "3", "--skip-inference"]
         assert cli.main(common + ["--min-fused-speedup", "1e9"]) == 1
         assert "PERF REGRESSION" in capsys.readouterr().err
         assert cli.main(common + ["--min-fused-speedup", "0.0"]) == 0
+
+    def test_bench_inference_micro_recorded(self, capsys, tmp_path, counting_spec):
+        json_path = tmp_path / "bench.json"
+        assert cli.main(["bench", "_probe", "--scale", "smoke", "--skip-fused",
+                         "--cache-dir", str(tmp_path), "--rounds", "3",
+                         "--output", str(json_path)]) == 0
+        summary = json.loads(json_path.read_text())
+        inference = summary["inference"]
+        assert inference["batch_size"] == 64
+        assert inference["batched"]["mean_seconds"] > 0
+        assert inference["per_sample"]["mean_seconds"] > 0
+        assert inference["speedup"] > 0
+        assert "inference batch speedup" in capsys.readouterr().out
+
+    def test_bench_inference_gate(self, capsys, tmp_path, counting_spec):
+        common = ["bench", "_probe", "--scale", "smoke", "--cache-dir",
+                  str(tmp_path), "--output", "", "--rounds", "3", "--skip-fused"]
+        assert cli.main(common + ["--min-inference-speedup", "1e9"]) == 1
+        assert "PERF REGRESSION" in capsys.readouterr().err
+        assert cli.main(common + ["--min-inference-speedup", "0.0"]) == 0
 
     def test_run_jobs_flag_summary_and_exit(self, capsys, tmp_path, counting_spec):
         assert cli.main(["run", "_probe", "--scale", "smoke", "--jobs", "1",
