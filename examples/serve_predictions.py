@@ -1,15 +1,18 @@
-"""Train a tiny classifier, save it as a self-describing bundle, and serve it.
+"""Train two tiny classifiers, bundle them, and serve both over the v1 API.
 
 Demonstrates the full serving path added on top of the experiment stack:
 
-1. ``Trainer.fit`` writes ``best.npz`` — because the model was built through
-   the registered model zoo, the checkpoint embeds a model spec and serving
-   metadata, making it a *bundle*.
-2. ``repro.load`` reconstructs architecture + weights + normalization from
-   the bundle alone and returns a :class:`repro.Predictor` (batched, no-grad,
-   warm caches).
-3. The same predictor is mounted behind the stdlib HTTP server and queried
-   over ``POST /predict``, matching the in-process answer.
+1. ``Trainer.fit`` writes ``best.npz`` — because the models were built
+   through the registered model zoo, the checkpoints embed a model spec and
+   serving metadata, making them *bundles*.
+2. ``repro.load`` reconstructs architecture + weights + normalization from a
+   bundle alone and returns a :class:`repro.Predictor`.  ``engine="batched"``
+   routes every forward through a :class:`~repro.serve.BatchedEngine`, whose
+   scheduler coalesces concurrent requests into fused no-grad forwards.
+3. A :class:`~repro.serve.ModelRouter` mounts both predictors behind the
+   stdlib HTTP server's versioned multi-model API — ``GET /v1/models``,
+   ``POST /v1/models/<name>/predict``, ``GET /v1/stats`` — while the legacy
+   ``POST /predict`` shim keeps answering for the default model.
 
 Run as ``python examples/serve_predictions.py``; everything happens in a
 temporary directory and finishes in under a minute on a laptop CPU.
@@ -31,16 +34,17 @@ from repro.experiments.common import classifier_bundle_info
 from repro.models import SimpleCNN
 from repro.nn import CrossEntropyLoss
 from repro.optim import SGD
-from repro.serve import make_server
+from repro.serve import ModelRouter, make_server
 from repro.training import Trainer
 
 
-def train_bundle(checkpoint_dir: Path) -> Path:
+def train_bundle(checkpoint_dir: Path, neuron_type: str) -> Path:
     """Train a small CNN and return the path of the bundle ``fit`` wrote."""
     dataset = SyntheticImageClassification(num_classes=4, image_size=10,
                                            train_size=96, test_size=32, seed=0)
-    model = SimpleCNN(num_classes=4, neuron_type="proposed", rank=3,
-                      base_width=4, image_size=10, seed=0)
+    kwargs = {"rank": 3} if neuron_type == "proposed" else {}
+    model = SimpleCNN(num_classes=4, neuron_type=neuron_type, base_width=4,
+                      image_size=10, seed=0, **kwargs)
     trainer = Trainer(model, SGD(model.parameters(), lr=0.05, momentum=0.9),
                       CrossEntropyLoss())
     trainer.bundle_info = classifier_bundle_info(dataset)
@@ -49,42 +53,64 @@ def train_bundle(checkpoint_dir: Path) -> Path:
     trainer.fit(loader, epochs=3, eval_inputs=dataset.test_images,
                 eval_targets=dataset.test_labels,
                 checkpoint_dir=checkpoint_dir, checkpoint_every=1)
-    print(f"trained: best eval accuracy {trainer.best_metric:.3f} "
+    print(f"trained {neuron_type}: best eval accuracy {trainer.best_metric:.3f} "
           f"(epoch {trainer.best_epoch})")
     return checkpoint_dir / "best.npz"
 
 
 def main() -> None:
     with tempfile.TemporaryDirectory() as workdir:
-        bundle_path = train_bundle(Path(workdir))
+        quad_path = train_bundle(Path(workdir) / "quad", "proposed")
+        linear_path = train_bundle(Path(workdir) / "linear", "linear")
 
         # -- the one-liner inference API ------------------------------------
-        predictor = repro.load(bundle_path)
-        print(f"loaded {predictor.describe()['model']} from {bundle_path.name}; "
-              f"input shape {predictor.input_shape}")
+        quad = repro.load(quad_path, engine="batched", max_wait_ms=1.0)
+        linear = repro.load(linear_path)  # direct engine: inline forwards
+        print(f"loaded {quad.describe()['model']} (engine: "
+              f"{quad.engine.name}); input shape {quad.input_shape}")
         batch = np.random.default_rng(1).standard_normal(
-            (8, *predictor.input_shape)).astype(np.float32)
-        print("predicted classes:", predictor.predict(batch).tolist())
-        top = predictor.predict_topk(batch[:2], k=2)
+            (8, *quad.input_shape)).astype(np.float32)
+        print("predicted classes:", quad.predict(batch).tolist())
+        top = quad.predict_topk(batch[:2], k=2)
         print("top-2 of first sample:",
               [(entry["label"], round(entry["probability"], 3))
                for entry in top[0]["top_k"]])
 
-        # -- the same predictor over HTTP -----------------------------------
-        server = make_server(predictor, port=0, quiet=True)
+        # -- both predictors behind the v1 multi-model HTTP API -------------
+        router = ModelRouter({"quad": quad, "linear": linear})
+        server = make_server(router, port=0, quiet=True)
         host, port = server.server_address[:2]
         threading.Thread(target=server.serve_forever, daemon=True).start()
-        health = json.load(urllib.request.urlopen(f"http://{host}:{port}/healthz"))
-        print("healthz:", health)
-        request = urllib.request.Request(
-            f"http://{host}:{port}/predict",
-            data=json.dumps({"inputs": batch.tolist(), "top_k": 1}).encode(),
-            headers={"Content-Type": "application/json"})
-        response = json.load(urllib.request.urlopen(request))
-        http_classes = [record["class_index"] for record in response["predictions"]]
-        assert http_classes == predictor.predict(batch).tolist()
-        print("HTTP answer matches the in-process answer:", http_classes)
+        base = f"http://{host}:{port}"
+
+        models = json.load(urllib.request.urlopen(f"{base}/v1/models"))
+        print("mounted models:",
+              [(entry["name"], entry["engine"]) for entry in models["models"]],
+              "default:", models["default"])
+
+        def post(path: str) -> dict:
+            request = urllib.request.Request(
+                f"{base}{path}",
+                data=json.dumps({"inputs": batch.tolist(), "top_k": 1}).encode(),
+                headers={"Content-Type": "application/json"})
+            return json.load(urllib.request.urlopen(request))
+
+        for name, predictor in router.items():
+            response = post(f"/v1/models/{name}/predict")
+            http_classes = [record["class_index"]
+                            for record in response["predictions"]]
+            assert http_classes == predictor.predict(batch).tolist()
+            print(f"/v1/models/{name}/predict matches in-process:", http_classes)
+
+        legacy = post("/predict")  # shim → default model ("quad")
+        assert legacy["model"] == "quad"
+        print("legacy /predict shim answered for:", legacy["model"])
+
+        stats = json.load(urllib.request.urlopen(f"{base}/v1/stats"))
+        print("quad engine stats:", stats["models"]["quad"])
+
         server.shutdown()
+        router.close()  # drains engines; queued clients would get EngineClosed
         server.server_close()
 
 

@@ -21,7 +21,9 @@ The package is organised bottom-up:
   caching runner (one spec per table/figure).
 * :mod:`repro.serve`       — the stable inference API: self-describing model
   bundles in, batched no-grad predictions out (:func:`repro.load` /
-  :class:`repro.Predictor`), HTTP-servable.
+  :class:`repro.Predictor`), scheduled through pluggable serving engines
+  (direct lock-and-forward, or cross-request dynamic batching) and served
+  over a versioned multi-model HTTP API.
 * :mod:`repro.cli`         — ``python -m repro {list,run,sweep,bench,predict,serve}``.
 """
 
@@ -38,7 +40,7 @@ from .quadratic import (
 from .serve import Predictor, load
 from .tensor import Tensor
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "analysis",

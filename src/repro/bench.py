@@ -33,8 +33,9 @@ from .experiments.runner import default_cache_dir, run_many
 from .io.serialization import atomic_write_json
 
 __all__ = ["time_callable", "fused_kernel_benchmarks", "inference_benchmarks",
-           "benchmark_experiments", "build_summary", "check_fused_speedups",
-           "check_inference_speedup", "write_summary"]
+           "serving_benchmarks", "benchmark_experiments", "build_summary",
+           "check_fused_speedups", "check_inference_speedup",
+           "check_serving_speedup", "write_summary"]
 
 #: Fused micro-benchmark result keys, kept identical to the historical
 #: pytest-benchmark test names so BENCH_autograd.json stays a trajectory.
@@ -154,6 +155,89 @@ def inference_benchmarks(rounds: int = 5, warmup: int = 2,
     return result
 
 
+def serving_benchmarks(rounds: int = 3, warmup: int = 1, clients: int = 8,
+                       requests_per_client: int = 25) -> dict:
+    """Throughput of the batched vs the direct serving engine under
+    concurrent load: ``clients`` threads each fire ``requests_per_client``
+    single-sample requests (submitted as futures, then awaited).
+
+    This is the cross-request story the engine layer exists for: the direct
+    engine answers 8 threads as 8×R serialized one-row forwards, each paying
+    the full im2col/BLAS-dispatch overhead, while the batched engine's
+    scheduler coalesces the queue into fused forwards.  Requests/sec for both
+    engines and their ratio land in ``BENCH_autograd.json`` under
+    ``serving`` (CI floor: 2x at 8 clients).
+    """
+    import threading
+
+    from .models import SimpleCNN
+    from .serve import BatchedEngine, DirectEngine, InferenceSession
+
+    model = SimpleCNN(num_classes=10, neuron_type="proposed", rank=3,
+                      base_width=8, image_size=16, seed=0)
+    sample = np.random.default_rng(1).standard_normal((1, 3, 16, 16)) \
+        .astype(np.float32)
+    total_requests = clients * requests_per_client
+
+    def storm(engine):
+        barrier = threading.Barrier(clients)
+        errors: list[Exception] = []
+
+        def client():
+            try:
+                barrier.wait()
+                futures = [engine.submit(sample)
+                           for _ in range(requests_per_client)]
+                for future in futures:
+                    future.result(timeout=120)
+            except Exception as error:  # noqa: BLE001 — re-raised below
+                errors.append(error)
+
+        threads = [threading.Thread(target=client) for _ in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
+    session_direct = InferenceSession(model, max_batch=64)
+    session_direct.warm(input_shape=sample.shape[1:], batch_sizes=(1,))
+    session_batched = InferenceSession(model, max_batch=64)
+    session_batched.warm(input_shape=sample.shape[1:],
+                         batch_sizes=(64, clients, 1))
+
+    direct_engine = DirectEngine(session_direct)
+    batched_engine = BatchedEngine(session_batched, max_batch=64,
+                                   max_wait_ms=2.0,
+                                   queue_size=total_requests + clients)
+    try:
+        direct = time_callable(lambda: storm(direct_engine),
+                               rounds=rounds, warmup=warmup)
+        batched = time_callable(lambda: storm(batched_engine),
+                                rounds=rounds, warmup=warmup)
+        batched_stats = batched_engine.stats()
+    finally:
+        batched_engine.close()
+        direct_engine.close()
+
+    result = {
+        "model": "simple_cnn/proposed",
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "rows_per_request": 1,
+        "direct": direct,
+        "batched": batched,
+        "direct_rps": total_requests / direct["mean_seconds"],
+        "batched_rps": total_requests / batched["mean_seconds"],
+        "mean_batch_rows": batched_stats["mean_batch_rows"],
+    }
+    if batched["mean_seconds"] > 0 and batched["min_seconds"] > 0:
+        result["speedup"] = direct["mean_seconds"] / batched["mean_seconds"]
+        result["speedup_best"] = direct["min_seconds"] / batched["min_seconds"]
+    return result
+
+
 def benchmark_experiments(names: list[str], scale: str = "smoke",
                           cache_dir=None, progress=None) -> dict:
     """End-to-end wall time per experiment via the cached runner (cache bypassed).
@@ -182,12 +266,14 @@ def benchmark_experiments(names: list[str], scale: str = "smoke",
 
 
 def build_summary(figure_repros: dict, fused_ops: dict, fused_speedups: dict,
-                  scale: str, started: float, inference: dict | None = None) -> dict:
+                  scale: str, started: float, inference: dict | None = None,
+                  serving: dict | None = None) -> dict:
     return {
         "figure_repros": figure_repros,
         "fused_ops": fused_ops,
         "fused_speedups": fused_speedups,
         "inference": inference or {},
+        "serving": serving or {},
         "scale": scale,
         "targets": sorted(figure_repros),
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(started)),
@@ -231,6 +317,25 @@ def check_inference_speedup(summary: dict, minimum: float) -> list[str]:
         return [f"batched inference speedup = {ratio:.3f}x (best-of-rounds "
                 f"{best:.3f}x) is below the {minimum:.2f}x floor at "
                 f"batch {inference.get('batch_size')}"]
+    return []
+
+
+def check_serving_speedup(summary: dict, minimum: float) -> list[str]:
+    """Regression messages when the batched engine's concurrent-load
+    throughput falls below ``minimum``× the direct engine's.
+
+    Like the other gates, passes when *either* the mean-based or the
+    best-of-rounds ratio clears the floor.
+    """
+    serving = summary.get("serving", {})
+    ratio = serving.get("speedup")
+    if ratio is None:
+        return ["serving benchmark missing from the summary"]
+    best = serving.get("speedup_best", ratio)
+    if max(ratio, best) < minimum:
+        return [f"batched-engine serving speedup = {ratio:.3f}x "
+                f"(best-of-rounds {best:.3f}x) is below the {minimum:.2f}x "
+                f"floor at {serving.get('clients')} concurrent clients"]
     return []
 
 

@@ -11,14 +11,18 @@
   reported at the end instead of aborting the sweep.
 * ``bench``   — regenerate the perf trajectory (``BENCH_autograd.json``):
   experiment wall times through the same cached runner (cache bypassed), the
-  fused-kernel micro-benchmarks, and the batched-inference micro-benchmark,
-  with optional ``--min-fused-speedup`` / ``--min-inference-speedup`` CI
-  gates.
+  fused-kernel micro-benchmarks, the batched-inference micro-benchmark, and
+  the concurrent-load serving micro-benchmark (batched vs direct engine at 8
+  client threads), with optional ``--min-fused-speedup`` /
+  ``--min-inference-speedup`` / ``--min-serving-speedup`` CI gates.
 * ``predict`` — batched, no-grad inference on a saved model bundle (from
   a ``.npy`` file or seeded random inputs), JSON out.
-* ``serve``   — expose a bundle over HTTP (``GET /healthz``,
-  ``POST /predict``) via a thread-per-connection stdlib server sharing one
-  warm inference session.
+* ``serve``   — expose one or more bundles over HTTP through the v1
+  multi-model API (``GET /v1/models``, ``POST /v1/models/<name>/predict``,
+  ``GET /v1/stats``, plus legacy ``/healthz`` and ``/predict`` shims),
+  with cross-request dynamic batching by default (``--engine batched``,
+  tuned by ``--max-batch`` / ``--max-wait-ms`` / ``--queue-size``) and
+  graceful SIGINT/SIGTERM draining.
 """
 
 from __future__ import annotations
@@ -121,6 +125,15 @@ def build_parser() -> argparse.ArgumentParser:
                               help="fail when batched inference is less than "
                                    "RATIO times faster than the per-sample "
                                    "loop (CI perf gate)")
+    bench_parser.add_argument("--skip-serving", action="store_true",
+                              help="skip the concurrent-load serving-engine "
+                                   "micro-benchmark")
+    bench_parser.add_argument("--min-serving-speedup", type=float, default=None,
+                              metavar="RATIO",
+                              help="fail when the batched engine sustains less "
+                                   "than RATIO times the direct engine's "
+                                   "requests/sec under concurrent load "
+                                   "(CI perf gate)")
     bench_parser.set_defaults(handler=_command_bench)
 
     predict_parser = commands.add_parser(
@@ -149,14 +162,41 @@ def build_parser() -> argparse.ArgumentParser:
     predict_parser.set_defaults(handler=_command_predict)
 
     serve_parser = commands.add_parser(
-        "serve", help="serve a model bundle over HTTP")
-    serve_parser.add_argument("bundle", help="path to a bundle .npz")
+        "serve", help="serve one or more model bundles over HTTP")
+    serve_parser.add_argument("bundle", nargs="?", default=None,
+                              help="path to a bundle .npz, mounted as model "
+                                   "'default' (or use --model)")
+    serve_parser.add_argument("--model", action="append", default=[],
+                              metavar="NAME=BUNDLE", dest="models",
+                              help="mount BUNDLE under /v1/models/NAME "
+                                   "(repeatable; first model named becomes "
+                                   "the default unless --default is given)")
+    serve_parser.add_argument("--default", dest="default_model", default=None,
+                              metavar="NAME",
+                              help="model answering the legacy /predict and "
+                                   "/healthz shims (default: first mounted)")
     serve_parser.add_argument("--host", default="127.0.0.1",
                               help="bind address (default: 127.0.0.1)")
     serve_parser.add_argument("--port", type=int, default=8000,
                               help="bind port, 0 for ephemeral (default: 8000)")
+    serve_parser.add_argument("--engine", choices=["batched", "direct"],
+                              default="batched",
+                              help="serving engine: 'batched' fuses concurrent "
+                                   "requests into one forward, 'direct' runs "
+                                   "each request inline (default: batched)")
     serve_parser.add_argument("--max-batch", type=int, default=64,
-                              help="micro-batch size per forward (default: 64)")
+                              help="rows per fused forward (default: 64)")
+    serve_parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                              help="batched engine: how long an open batch "
+                                   "waits for more requests (default: 2.0)")
+    serve_parser.add_argument("--queue-size", type=int, default=256,
+                              help="batched engine: queued requests beyond "
+                                   "which clients get 429 (default: 256)")
+    serve_parser.add_argument("--request-timeout", type=float, default=30.0,
+                              help="batched engine: per-request queue-wait "
+                                   "bound in seconds before a 504 (default: "
+                                   "30; direct forwards run inline and "
+                                   "cannot time out)")
     serve_parser.add_argument("--quiet", action="store_true",
                               help="suppress per-request access logs")
     serve_parser.set_defaults(handler=_command_serve)
@@ -265,6 +305,10 @@ def _command_bench(args) -> int:
         print("error: --skip-inference would make --min-inference-speedup a "
               "vacuous pass; drop one of the two", file=sys.stderr)
         return 2
+    if args.skip_serving and args.min_serving_speedup is not None:
+        print("error: --skip-serving would make --min-serving-speedup a "
+              "vacuous pass; drop one of the two", file=sys.stderr)
+        return 2
     names = _resolve_names(args.experiments)
     scale = get_scale(args.scale)
     cache_dir = _cache_dir(args)
@@ -285,10 +329,12 @@ def _command_bench(args) -> int:
             rounds=args.rounds)
     inference = {} if args.skip_inference else \
         bench_module.inference_benchmarks(rounds=max(3, args.rounds // 6))
+    serving = {} if args.skip_serving else \
+        bench_module.serving_benchmarks(rounds=max(3, args.rounds // 10))
 
     summary = bench_module.build_summary(figure_repros, fused_ops, fused_speedups,
                                          scale=scale.name, started=started,
-                                         inference=inference)
+                                         inference=inference, serving=serving)
     rows = [{"experiment": name, "scale": scale.name,
              "seconds": stats["mean_seconds"]}
             for name, stats in figure_repros.items()]
@@ -305,6 +351,14 @@ def _command_bench(args) -> int:
         print(f"  {'inference per-sample loop':<45s} "
               f"{inference['per_sample']['mean_seconds'] * 1e6:>12.1f} us")
         print(f"  {'inference batch speedup':<45s} {inference['speedup']:>11.2f}x")
+    if serving:
+        clients = serving["clients"]
+        print(f"  {'serving direct (' + str(clients) + ' clients)':<45s} "
+              f"{serving['direct_rps']:>10.1f} r/s")
+        print(f"  {'serving batched (' + str(clients) + ' clients)':<45s} "
+              f"{serving['batched_rps']:>10.1f} r/s")
+        print(f"  {'serving batched-engine speedup':<45s} "
+              f"{serving['speedup']:>11.2f}x")
 
     if args.output:
         bench_module.write_summary(summary, args.output)
@@ -326,6 +380,15 @@ def _command_bench(args) -> int:
             return 1
         print(f"batched inference >= {args.min_inference_speedup:.2f}x "
               f"the per-sample loop")
+    if args.min_serving_speedup is not None:
+        violations = bench_module.check_serving_speedup(
+            summary, args.min_serving_speedup)
+        if violations:
+            for violation in violations:
+                print(f"PERF REGRESSION: {violation}", file=sys.stderr)
+            return 1
+        print(f"batched serving engine >= {args.min_serving_speedup:.2f}x "
+              f"the direct engine under concurrent load")
     return 0
 
 
@@ -363,9 +426,30 @@ def _command_predict(args) -> int:
     return 0
 
 
+def _parse_model_specs(specs: list[str]) -> dict[str, str]:
+    """``NAME=BUNDLE`` pairs → ordered mapping, with helpful errors."""
+    models: dict[str, str] = {}
+    for spec in specs:
+        name, separator, path = spec.partition("=")
+        if not separator or not name or not path:
+            raise ValueError(f"--model expects NAME=BUNDLE, got {spec!r}")
+        if name in models:
+            raise ValueError(f"--model name {name!r} given twice")
+        models[name] = path
+    return models
+
+
 def _command_serve(args) -> int:
     from .serve.http import serve
 
+    models = _parse_model_specs(args.models)
+    if args.bundle is None and not models:
+        print("error: name a bundle to serve, or mount one with "
+              "--model NAME=BUNDLE", file=sys.stderr)
+        return 2
     serve(args.bundle, host=args.host, port=args.port,
-          max_batch=args.max_batch, quiet=args.quiet)
+          max_batch=args.max_batch, quiet=args.quiet, models=models,
+          engine=args.engine, max_wait_ms=args.max_wait_ms,
+          queue_size=args.queue_size, request_timeout=args.request_timeout,
+          default_model=args.default_model)
     return 0

@@ -1,17 +1,24 @@
-"""Stable inference API: load a bundle, predict batches, serve over HTTP.
+"""Stable inference API: load bundles, predict batches, serve over HTTP.
 
 This package is the grad-free counterpart of :mod:`repro.training` — the
 paper's efficiency story is ultimately an *inference* story, and this is the
-entry point that measures and serves it:
+entry point that measures and serves it.  Since PR 5 it is layered around a
+pluggable engine boundary:
 
 * :class:`InferenceSession` — eval-mode, ``no_grad``, micro-batched forwards
   with warm buffer caches and a zero-graph-construction guarantee.
+* :class:`ServingEngine` — the scheduling protocol (``submit``/``stats``/
+  ``close``): :class:`DirectEngine` runs forwards inline on the caller's
+  thread; :class:`BatchedEngine` coalesces concurrent requests into fused
+  forwards through a background scheduler (cross-request dynamic batching).
 * :class:`Pipeline` — raw inputs in (normalization, single-sample promotion),
   softmax/top-k records out.
-* :class:`Predictor` — the façade combining both; ``repro.load(path)``
-  returns one.
-* :mod:`repro.serve.http` — a stdlib ``ThreadingHTTPServer`` exposing
-  ``GET /healthz`` and ``POST /predict`` over a shared session.
+* :class:`Predictor` — the façade combining all three; ``repro.load(path)``
+  returns one, and ``engine="batched"`` turns on cross-request batching.
+* :class:`ModelRouter` + :mod:`repro.serve.http` — named multi-model routing
+  behind a stdlib ``ThreadingHTTPServer``: ``GET /v1/models``,
+  ``POST /v1/models/<name>/predict``, ``GET /v1/stats``, with the legacy
+  ``GET /healthz`` / ``POST /predict`` shims routing to the default model.
 
 The one-liner::
 
@@ -25,36 +32,60 @@ from __future__ import annotations
 
 import numpy as np
 
+from .batching import BatchedEngine
+from .engine import DirectEngine, EngineClosed, EngineError, QueueFull, ServingEngine, make_engine
 from .http import make_server, serve
 from .pipeline import Pipeline, softmax, top_k
+from .router import ModelRouter
 from .session import InferenceSession
 
 __all__ = ["InferenceSession", "Pipeline", "Predictor", "load",
+           "ServingEngine", "DirectEngine", "BatchedEngine", "make_engine",
+           "EngineError", "EngineClosed", "QueueFull", "ModelRouter",
            "make_server", "serve", "softmax", "top_k"]
 
 
 class Predictor:
-    """High-level inference façade over one model: session + pipeline.
+    """High-level inference façade over one model: session + engine + pipeline.
 
     Construct directly from an in-memory model, or — the common path — via
     :func:`load` / :meth:`from_bundle`, which pull normalization stats, class
     labels and the expected input shape from the bundle metadata.
+
+    ``engine`` selects the scheduling layer every forward goes through:
+    ``"direct"`` (default — inline, lock-serialized, PR 4 behavior) or
+    ``"batched"`` (a background scheduler fuses concurrent requests into one
+    forward; tune with ``max_wait_ms``/``queue_size``).  A ready-made
+    :class:`ServingEngine` instance is accepted too — that is the hook a
+    multi-process or multi-backend engine plugs into; the predictor then
+    adopts the engine's own session (so ``describe``/``warm`` target the
+    session that actually serves) and ``max_batch`` is ignored.
     """
 
     def __init__(self, model, normalization: dict | None = None,
                  classes: list[str] | None = None, input_shape: tuple | None = None,
-                 max_batch: int = 64, warm: bool = False):
-        self.session = InferenceSession(model, max_batch=max_batch)
+                 max_batch: int = 64, warm: bool = False, engine="direct",
+                 max_wait_ms: float | None = None, queue_size: int | None = None):
+        if isinstance(engine, ServingEngine) and \
+                getattr(engine, "session", None) is not None:
+            self.session = engine.session
+        else:
+            self.session = InferenceSession(model, max_batch=max_batch)
+        self.engine = make_engine(engine, self.session,
+                                  max_wait_ms=max_wait_ms, queue_size=queue_size)
         self.pipeline = Pipeline(self.session, normalization=normalization,
-                                 classes=classes, input_shape=input_shape)
+                                 classes=classes, input_shape=input_shape,
+                                 engine=self.engine)
         if warm:
             self.session.warm(self.pipeline.input_shape)
 
     @classmethod
-    def from_bundle(cls, bundle_or_path, max_batch: int = 64,
-                    warm: bool = False) -> "Predictor":
+    def from_bundle(cls, bundle_or_path, max_batch: int = 64, warm: bool = False,
+                    engine="direct", max_wait_ms: float | None = None,
+                    queue_size: int | None = None) -> "Predictor":
         """Build a predictor from a loaded bundle or a bundle path."""
-        return cls(bundle_or_path, max_batch=max_batch, warm=warm)
+        return cls(bundle_or_path, max_batch=max_batch, warm=warm, engine=engine,
+                   max_wait_ms=max_wait_ms, queue_size=queue_size)
 
     # -- convenience properties -------------------------------------------------
 
@@ -72,36 +103,65 @@ class Predictor:
 
     # -- prediction -------------------------------------------------------------
 
-    def predict(self, inputs, normalize: bool = True) -> np.ndarray:
+    def predict(self, inputs, normalize: bool = True,
+                timeout: float | None = None) -> np.ndarray:
         """Predicted class index per sample, shape ``(N,)``."""
-        return self.predict_logits(inputs, normalize=normalize).argmax(axis=-1)
+        return self.predict_logits(inputs, normalize=normalize,
+                                   timeout=timeout).argmax(axis=-1)
 
-    def predict_logits(self, inputs, normalize: bool = True) -> np.ndarray:
-        """Raw model outputs, shape ``(N, num_classes)``."""
-        return self.session.predict(self.pipeline.preprocess(inputs, normalize=normalize))
+    def predict_logits(self, inputs, normalize: bool = True,
+                       timeout: float | None = None) -> np.ndarray:
+        """Raw model outputs, shape ``(N, num_classes)``, via the engine."""
+        return self.pipeline.logits(inputs, normalize=normalize, timeout=timeout)
 
-    def predict_proba(self, inputs, normalize: bool = True) -> np.ndarray:
+    def predict_proba(self, inputs, normalize: bool = True,
+                      timeout: float | None = None) -> np.ndarray:
         """Softmax class probabilities, shape ``(N, num_classes)``."""
-        return softmax(self.predict_logits(inputs, normalize=normalize))
+        return softmax(self.predict_logits(inputs, normalize=normalize,
+                                           timeout=timeout))
 
-    def predict_topk(self, inputs, k: int = 5, normalize: bool = True) -> list[dict]:
+    def predict_topk(self, inputs, k: int = 5, normalize: bool = True,
+                     timeout: float | None = None) -> list[dict]:
         """Labeled top-``k`` records per sample (the HTTP response payload)."""
-        return self.pipeline.predict(inputs, k=k, normalize=normalize)
+        return self.pipeline.predict(inputs, k=k, normalize=normalize,
+                                     timeout=timeout)
+
+    # -- introspection / lifecycle ----------------------------------------------
 
     def describe(self) -> dict:
-        """Model + session summary (served verbatim on ``/healthz``)."""
+        """Model + session summary (served on ``/healthz`` and ``/v1/models``)."""
         info = self.session.describe()
+        info["engine"] = self.engine.name
         if self.input_shape is not None:
             info["input_shape"] = list(self.input_shape)
         if self.classes is not None:
             info["num_classes"] = len(self.classes)
         return info
 
+    def stats(self) -> dict:
+        """The engine's scheduling stats (served on ``/v1/stats``)."""
+        return self.engine.stats()
 
-def load(path, max_batch: int = 64, warm: bool = True) -> Predictor:
+    def close(self) -> None:
+        """Close the engine: stop accepting work, fail queued futures loudly."""
+        self.engine.close()
+
+    def __enter__(self) -> "Predictor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load(path, max_batch: int = 64, warm: bool = True, engine="direct",
+         max_wait_ms: float | None = None, queue_size: int | None = None) -> Predictor:
     """Load a bundle from ``path`` into a ready-to-serve :class:`Predictor`.
 
     Re-exported as :func:`repro.load`; warming is on by default so the first
     request after process start doesn't pay the buffer-allocation cost.
+    ``engine="batched"`` opts the predictor into cross-request dynamic
+    batching (what ``repro serve`` uses by default).
     """
-    return Predictor.from_bundle(path, max_batch=max_batch, warm=warm)
+    return Predictor.from_bundle(path, max_batch=max_batch, warm=warm,
+                                 engine=engine, max_wait_ms=max_wait_ms,
+                                 queue_size=queue_size)

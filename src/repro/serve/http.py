@@ -1,51 +1,78 @@
-"""Minimal stdlib HTTP front end for a predictor.
+"""Stdlib HTTP transport over a :class:`~repro.serve.router.ModelRouter`.
 
-``repro serve <bundle>`` builds a :class:`http.server.ThreadingHTTPServer`
-around one shared :class:`~repro.serve.Predictor`.  Concurrency model: the
-server spawns a thread per connection, JSON parsing and pre/post-processing
-run unlocked (pure functions), and the single stateful stage — the model
-forward — is serialized by the inference session's internal lock, so any
-number of handler threads can safely share one warm session (and its buffer
-caches).
+The transport is deliberately thin: handler threads parse JSON and pre/post-
+process (pure functions, unlocked), then *submit* the forward to the target
+model's serving engine and wait on a future.  All scheduling policy — direct
+lock-and-forward vs cross-request dynamic batching — lives behind the
+:class:`~repro.serve.engine.ServingEngine` boundary, so the same transport
+serves either engine and any number of named models.
 
-Endpoints
----------
-``GET /healthz``
-    Liveness + model summary: spec name, parameter count, input shape,
-    samples served.  Returns 200 as soon as the server can answer at all.
-``POST /predict``
+Versioned API
+-------------
+``GET /v1/models``
+    Every mounted model (name, spec, parameter count, engine) and which one
+    is the default.
+``GET /v1/models/<name>``
+    One model's description.
+``POST /v1/models/<name>/predict``
     Body ``{"inputs": <nested array>, "top_k": <int, optional>,
-    "normalize": <bool, optional>}``.  ``inputs`` is one sample or a batch of
-    raw (un-normalized) values; the response is ``{"predictions": [...],
-    "count": N}`` with one top-k record per sample.  Malformed requests get a
-    400 with an ``error`` message; unexpected failures a 500.
+    "normalize": <bool, optional>}``; response ``{"model": <name>,
+    "predictions": [...], "count": N}`` with one top-k record per sample.
+``GET /v1/stats``
+    Per-model engine scheduling stats (requests, fused batches, queue depth).
+
+Legacy shims (PR 4 surface, kept working unchanged)
+---------------------------------------------------
+``GET /healthz``
+    Liveness + the *default* model's summary.
+``POST /predict``
+    Routes to the default model; same body and response shape as v1.
+
+Status mapping: malformed payloads → 400, unknown paths/models → 404, full
+request queue → 429 (backpressure), engine shut down → 503, request timeout
+→ 504, anything unexpected → 500.  SIGINT/SIGTERM drain gracefully: the
+server stops accepting, engines fail queued futures with a clear error, and
+in-flight responses flush before the process exits.
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
+from concurrent.futures import TimeoutError as FutureTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import unquote
 
-__all__ = ["make_server", "serve", "PredictionHandler"]
+from .engine import EngineClosed, QueueFull
+from .router import ModelRouter
+
+__all__ = ["make_server", "serve", "PredictionHandler", "PredictionServer"]
 
 #: Largest accepted request body (64 MiB) — a backstop against a single
 #: request buffering unbounded memory, not a tuning knob.
 MAX_REQUEST_BYTES = 64 * 1024 * 1024
 
+_ENDPOINTS = ("GET /healthz, GET /v1/models, GET /v1/models/<name>, "
+              "GET /v1/stats, POST /predict, POST /v1/models/<name>/predict")
+
 
 class PredictionHandler(BaseHTTPRequestHandler):
-    """Routes ``/healthz`` and ``/predict`` onto the server's predictor."""
+    """Routes the v1 multi-model API (plus legacy shims) onto the router."""
 
-    server_version = "repro-serve/1.0"
+    server_version = "repro-serve/2.0"
     protocol_version = "HTTP/1.1"
 
     # -- plumbing --------------------------------------------------------------
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   headers: dict | None = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -53,14 +80,38 @@ class PredictionHandler(BaseHTTPRequestHandler):
         if not getattr(self.server, "quiet", False):
             super().log_message(format, *args)
 
+    def _not_found(self, message: str | None = None) -> None:
+        detail = message or f"unknown path {self.path!r}"
+        self._send_json(404, {"error": f"{detail}; endpoints: {_ENDPOINTS}"})
+
+    def _resolve_model(self, name: str | None):
+        """Router lookup → (name, predictor), or None after replying 404."""
+        try:
+            predictor = self.server.router.get(name)
+        except KeyError as error:
+            self._not_found(str(error).strip('"'))
+            return None
+        return (name or self.server.router.default_name), predictor
+
     # -- endpoints -------------------------------------------------------------
 
     def do_GET(self):
-        if self.path.rstrip("/") in ("", "/healthz"):
-            self._send_json(200, {"status": "ok", **self.server.predictor.describe()})
+        path = self.path.partition("?")[0].rstrip("/")
+        if path in ("", "/healthz"):
+            resolved = self._resolve_model(None)
+            if resolved:
+                self._send_json(200, {"status": "ok", "model_name": resolved[0],
+                                      **resolved[1].describe()})
+        elif path == "/v1/models":
+            self._send_json(200, self.server.router.describe())
+        elif path == "/v1/stats":
+            self._send_json(200, {"models": self.server.router.stats()})
+        elif path.startswith("/v1/models/"):
+            resolved = self._resolve_model(unquote(path[len("/v1/models/"):]))
+            if resolved:
+                self._send_json(200, {"name": resolved[0], **resolved[1].describe()})
         else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}; "
-                                           f"endpoints: GET /healthz, POST /predict"})
+            self._not_found()
 
     def do_POST(self):
         # Read (and thereby drain) the declared body up front: replying while
@@ -79,10 +130,19 @@ class PredictionHandler(BaseHTTPRequestHandler):
             return
         body = self.rfile.read(length) if length else b""
 
-        if self.path != "/predict":
-            self._send_json(404, {"error": f"unknown path {self.path!r}; "
-                                           f"endpoints: GET /healthz, POST /predict"})
+        path = self.path.partition("?")[0].rstrip("/")
+        if path == "/predict":
+            model_name = None  # legacy shim → default model
+        elif path.startswith("/v1/models/") and path.endswith("/predict"):
+            model_name = unquote(path[len("/v1/models/"):-len("/predict")])
+        else:
+            self._not_found()
             return
+        resolved = self._resolve_model(model_name)
+        if not resolved:
+            return
+        name, predictor = resolved
+
         try:
             if not body:
                 raise ValueError("request body is empty")
@@ -96,44 +156,147 @@ class PredictionHandler(BaseHTTPRequestHandler):
             return
 
         try:
-            predictions = self.server.predictor.predict_topk(
-                request["inputs"], k=k, normalize=normalize)
+            predictions = predictor.predict_topk(
+                request["inputs"], k=k, normalize=normalize,
+                timeout=self.server.request_timeout)
+        except QueueFull as error:  # backpressure: tell the client to retry
+            self._send_json(429, {"error": str(error)}, headers={"Retry-After": "1"})
+            return
+        except EngineClosed as error:  # draining for shutdown
+            self._send_json(503, {"error": str(error)})
+            return
+        except (TimeoutError, FutureTimeout) as error:
+            self._send_json(504, {"error": str(error)})
+            return
         except ValueError as error:  # shape/validation problems are the client's
             self._send_json(400, {"error": str(error)})
             return
         except Exception as error:  # noqa: BLE001 — a serving loop must not die
             self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
             return
-        self._send_json(200, {"predictions": predictions, "count": len(predictions)})
+        self._send_json(200, {"model": name, "predictions": predictions,
+                              "count": len(predictions)})
 
 
-def make_server(predictor, host: str = "127.0.0.1", port: int = 8000,
-                quiet: bool = False) -> ThreadingHTTPServer:
-    """Build (but do not start) a threading HTTP server around ``predictor``.
+class PredictionServer(ThreadingHTTPServer):
+    """Threading HTTP server owning one router and the request-timeout knob."""
 
-    ``port=0`` binds an ephemeral port (read it back from
-    ``server.server_address``), which is what the tests use.
+    daemon_threads = True
+
+    def __init__(self, address, router: ModelRouter, quiet: bool = False,
+                 request_timeout: float | None = 30.0):
+        super().__init__(address, PredictionHandler)
+        self.router = router
+        self.quiet = quiet
+        self.request_timeout = request_timeout
+
+    @property
+    def predictor(self):
+        """The default model's predictor (back-compat with the PR 4 server)."""
+        return self.router.default
+
+
+def make_server(models, host: str = "127.0.0.1", port: int = 8000,
+                quiet: bool = False,
+                request_timeout: float | None = 30.0) -> PredictionServer:
+    """Build (but do not start) the HTTP server around one or many models.
+
+    ``models`` is a :class:`ModelRouter`, a ``{name: Predictor}`` mapping, or
+    — the PR 4 signature, still supported — a single ``Predictor`` (mounted
+    as the default model).  ``port=0`` binds an ephemeral port (read it back
+    from ``server.server_address``), which is what the tests use.
     """
-    server = ThreadingHTTPServer((host, port), PredictionHandler)
-    server.daemon_threads = True
-    server.predictor = predictor
-    server.quiet = quiet
-    return server
+    if isinstance(models, ModelRouter):
+        router = models
+    elif isinstance(models, dict):
+        router = ModelRouter(models)
+    else:  # a single predictor
+        router = ModelRouter({"default": models})
+    return PredictionServer((host, port), router, quiet=quiet,
+                            request_timeout=request_timeout)
 
 
-def serve(bundle_path, host: str = "127.0.0.1", port: int = 8000,
-          max_batch: int = 64, quiet: bool = False) -> None:
-    """Load a bundle and serve it until interrupted (the CLI entry point)."""
+def _install_signal_handlers(server: PredictionServer):
+    """SIGINT/SIGTERM → graceful ``server.shutdown()``; returns a restore fn.
+
+    ``shutdown()`` must run off the serving thread, hence the helper thread.
+    When not on the main thread (embedded/test use) signals cannot be
+    installed; that's fine — the caller still drains via ``finally``.
+    """
+    def _handle(signum, frame):
+        threading.Thread(target=server.shutdown, name="repro-serve-shutdown",
+                         daemon=True).start()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _handle)
+        except ValueError:  # not the main thread
+            pass
+
+    def restore():
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    return restore
+
+
+def serve(bundle_path=None, host: str = "127.0.0.1", port: int = 8000,
+          max_batch: int = 64, quiet: bool = False, models: dict | None = None,
+          engine: str = "batched", max_wait_ms: float = 2.0,
+          queue_size: int = 256, request_timeout: float | None = 30.0,
+          default_model: str | None = None, ready=None) -> None:
+    """Load bundles and serve them until interrupted (the CLI entry point).
+
+    ``bundle_path`` (legacy single-model form) is mounted as ``default``;
+    ``models`` maps additional names to bundle paths.  Each model gets its
+    own session and serving engine (``engine="batched"`` by default — direct
+    lock-and-forward with ``engine="direct"``).  SIGINT/SIGTERM shut down
+    gracefully: the queue drains, queued futures fail with a clear error
+    instead of hanging their clients, then the process exits.  ``ready``, if
+    given, is called with the bound server before the serve loop starts
+    (embedding/test hook).
+    """
     from . import load
 
-    predictor = load(bundle_path, max_batch=max_batch)
-    server = make_server(predictor, host=host, port=port, quiet=quiet)
+    specs: dict[str, object] = {}
+    if bundle_path is not None:
+        specs["default"] = bundle_path
+    for name, path in (models or {}).items():
+        if name in specs:
+            raise ValueError(
+                f"model name {name!r} collides with the positional bundle "
+                f"(mounted as 'default'); pick another --model name or drop "
+                f"the positional argument")
+        specs[name] = path
+    if not specs:
+        raise ValueError("serve needs a bundle path or at least one "
+                         "name=bundle model mapping")
+    router = ModelRouter()
+    for name, path in specs.items():
+        router.add(name, load(path, max_batch=max_batch, engine=engine,
+                              max_wait_ms=max_wait_ms, queue_size=queue_size))
+    if default_model is not None:
+        router.set_default(default_model)
+
+    server = make_server(router, host=host, port=port, quiet=quiet,
+                         request_timeout=request_timeout)
+    restore_signals = _install_signal_handlers(server)
     bound_host, bound_port = server.server_address[:2]
-    print(f"serving {bundle_path} on http://{bound_host}:{bound_port} "
-          f"(endpoints: GET /healthz, POST /predict; Ctrl-C to stop)")
+    print(f"serving {len(router)} model(s) [{', '.join(router.names())}; "
+          f"default: {router.default_name}] with the {engine} engine on "
+          f"http://{bound_host}:{bound_port}")
+    if not quiet:
+        print(f"endpoints: {_ENDPOINTS}")
+    if ready is not None:
+        ready(server)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        restore_signals()
+        print("draining: closing engines and failing queued requests...")
+        router.close()
         server.server_close()
+        print("serve shut down cleanly")

@@ -10,8 +10,11 @@ classification service:
 * **postprocess** — stable softmax over the logits, then top-k selection with
   class labels, producing JSON-ready prediction records.
 
-Everything here is pure NumPy on plain arrays — no tensors, no graph — so the
-only locked, stateful stage of a request is the session forward itself.
+Everything here is pure NumPy on plain arrays — no tensors, no graph — so
+the only locked, stateful stage of a request is the forward, which
+:meth:`Pipeline.logits` hands to the attached serving engine (or straight to
+the session when no engine is attached).  That method is the single
+dispatch point every prediction path goes through.
 """
 
 from __future__ import annotations
@@ -55,9 +58,10 @@ class Pipeline:
 
     def __init__(self, session, normalization: dict | None = None,
                  classes: list[str] | None = None,
-                 input_shape: tuple | None = None):
+                 input_shape: tuple | None = None, engine=None):
         bundle = getattr(session, "bundle", None)
         self.session = session
+        self.engine = engine
         self.normalization = normalization if normalization is not None else \
             (bundle.normalization if bundle is not None else None)
         self.classes = classes if classes is not None else \
@@ -104,8 +108,22 @@ class Pipeline:
 
     # -- end to end -------------------------------------------------------------
 
-    def predict(self, inputs, k: int = 1, normalize: bool = True) -> list[dict]:
-        """Full request path: preprocess → session forward → top-k records."""
+    def logits(self, inputs, normalize: bool = True,
+               timeout: float | None = None) -> np.ndarray:
+        """Preprocess and run the forward — the single dispatch point.
+
+        When an engine is attached the forward is *submitted* to it (so e.g.
+        a :class:`~repro.serve.batching.BatchedEngine` can fuse it with
+        concurrent requests); without one it runs directly on the session.
+        ``timeout`` bounds the wait for an engine result.
+        """
         batch = self.preprocess(inputs, normalize=normalize)
-        logits = self.session.predict(batch)
-        return self.postprocess(logits, k=k)
+        if self.engine is not None:
+            return self.engine.predict(batch, timeout=timeout)
+        return self.session.predict(batch)
+
+    def predict(self, inputs, k: int = 1, normalize: bool = True,
+                timeout: float | None = None) -> list[dict]:
+        """Full request path: preprocess → scheduled forward → top-k records."""
+        return self.postprocess(
+            self.logits(inputs, normalize=normalize, timeout=timeout), k=k)

@@ -1,0 +1,103 @@
+"""Named multi-model routing for the v1 serving API.
+
+A :class:`ModelRouter` is an ordered mapping of model names to live
+:class:`~repro.serve.Predictor` instances plus the notion of a *default*
+model (the target of the legacy ``/predict`` and ``/healthz`` shims).  The
+HTTP layer holds exactly one router and resolves every request path through
+it; in-process embedders can use it the same way to serve several bundles
+behind one object.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ModelRouter"]
+
+
+class ModelRouter:
+    """Name → predictor routing table with a designated default model.
+
+    The first model added becomes the default unless another is promoted
+    via ``add(..., default=True)`` or :meth:`set_default`.  Lookups with an
+    unknown name raise ``KeyError`` listing the available models — the HTTP
+    layer forwards that message on its 404s.
+    """
+
+    def __init__(self, models: dict | None = None, default: str | None = None):
+        self._models: dict[str, object] = {}
+        self._default: str | None = None
+        for name, predictor in (models or {}).items():
+            self.add(name, predictor)
+        if default is not None:
+            self.set_default(default)
+
+    # -- mutation --------------------------------------------------------------
+
+    def add(self, name: str, predictor, default: bool = False) -> None:
+        """Mount ``predictor`` under ``name`` (first added becomes default)."""
+        name = str(name)
+        if not name or "/" in name:
+            raise ValueError(f"model name {name!r} must be non-empty and "
+                             f"contain no '/' (it becomes a URL segment)")
+        self._models[name] = predictor
+        if default or self._default is None:
+            self._default = name
+
+    def set_default(self, name: str) -> None:
+        if name not in self._models:
+            raise KeyError(self._unknown(name))
+        self._default = name
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, name: str | None = None):
+        """The predictor mounted under ``name`` (default model when ``None``)."""
+        if name is None:
+            name = self._default
+        if name is None or name not in self._models:
+            raise KeyError(self._unknown(name))
+        return self._models[name]
+
+    def _unknown(self, name) -> str:
+        available = ", ".join(sorted(self._models)) or "none"
+        return f"unknown model {name!r}; available models: {available}"
+
+    @property
+    def default_name(self) -> str | None:
+        return self._default
+
+    @property
+    def default(self):
+        """The default predictor (raises ``KeyError`` on an empty router)."""
+        return self.get(None)
+
+    def names(self) -> list[str]:
+        return list(self._models)
+
+    def items(self):
+        return self._models.items()
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __contains__(self, name) -> bool:
+        return name in self._models
+
+    # -- introspection / lifecycle ---------------------------------------------
+
+    def describe(self) -> dict:
+        """The ``GET /v1/models`` payload: every model plus the default."""
+        return {
+            "models": [{"name": name, "default": name == self._default,
+                        **predictor.describe()}
+                       for name, predictor in self._models.items()],
+            "default": self._default,
+        }
+
+    def stats(self) -> dict:
+        """Per-model engine scheduling stats (the ``GET /v1/stats`` payload)."""
+        return {name: predictor.stats() for name, predictor in self._models.items()}
+
+    def close(self) -> None:
+        """Close every mounted predictor's engine (failing queued work loudly)."""
+        for predictor in self._models.values():
+            predictor.close()

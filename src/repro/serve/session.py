@@ -66,6 +66,7 @@ class InferenceSession:
         self.batches_served = 0
         self.samples_served = 0
         self._lock = threading.Lock()
+        self._warmed: set[tuple] = set()
 
     # -- core ----------------------------------------------------------------
 
@@ -108,21 +109,33 @@ class InferenceSession:
     # -- cache warming ---------------------------------------------------------
 
     def warm(self, input_shape: tuple | None = None,
-             batch_sizes: tuple[int, ...] | None = None) -> bool:
+             batch_sizes: tuple[int, ...] | None = None,
+             force: bool = False) -> bool:
         """Run throwaway forwards to populate the engine's buffer caches.
 
         ``input_shape`` is the per-sample shape; when omitted it is taken from
         the session's bundle metadata.  ``batch_sizes`` defaults to
         ``(max_batch,)`` — the shape the steady-state traffic will hit.
         Returns ``False`` (no-op) when no input shape is known.
+
+        Idempotent and thread-safe: a ``(input_shape, batch_sizes)``
+        combination is warmed at most once per session — concurrent and
+        repeated calls (e.g. several transports sharing one session) skip the
+        redundant throwaway forwards instead of rebuilding the column caches.
+        ``force=True`` re-warms, e.g. after ``column_cache.clear()``.
         """
         if input_shape is None and self.bundle is not None:
             input_shape = self.bundle.input_shape
         if input_shape is None:
             return False
+        sizes = tuple(batch_sizes) if batch_sizes else (self.max_batch,)
+        key = (tuple(input_shape), sizes)
         with self._lock:
-            for batch in batch_sizes or (self.max_batch,):
+            if key in self._warmed and not force:
+                return True
+            for batch in sizes:
                 self._forward(np.zeros((batch, *input_shape), dtype=np.float32))
+            self._warmed.add(key)
         return True
 
     # -- introspection ---------------------------------------------------------

@@ -31,6 +31,7 @@ caller may still hold.
 from __future__ import annotations
 
 import functools
+import threading
 from time import perf_counter
 
 import numpy as np
@@ -52,7 +53,24 @@ __all__ = [
 # methods dispatch through the executor).
 _TENSOR_CLS = None
 
-_GRAD_ENABLED = True
+class _ThreadState(threading.local):
+    """Per-thread autograd mode and graph-node counter.
+
+    Both are thread-local on purpose: serving engines run no-grad forwards
+    on scheduler/handler threads *concurrently* with other threads, and a
+    process-global switch would let one thread's ``no_grad.__exit__``
+    re-enable gradients in the middle of another thread's forward (a real
+    race: it intermittently tripped the serving layer's strict zero-graph
+    assert under concurrent multi-engine load).  Every thread starts with
+    gradients enabled.
+    """
+
+    def __init__(self):
+        self.grad_enabled = True
+        self.graph_nodes_created = 0
+
+
+_state = _ThreadState()
 
 _TIMING_HOOKS: list = []
 
@@ -67,7 +85,9 @@ class no_grad:
     Inside a ``with no_grad():`` block, operations on tensors do not record
     backward state, which makes inference cheaper and prevents accidental
     gradient accumulation during evaluation.  Nesting is supported; each
-    block restores the mode that was active when it was entered.
+    block restores the mode that was active when it was entered.  The switch
+    is **per thread**, so a serving thread in inference mode never disables
+    (or re-enables) gradients under a concurrently training thread.
 
     Applied as a decorator (``@no_grad()``), the wrapped function runs
     entirely in inference mode — the serving layer uses this on its hot
@@ -82,14 +102,12 @@ class no_grad:
     """
 
     def __enter__(self):
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = _state.grad_enabled
+        _state.grad_enabled = False
         return self
 
     def __exit__(self, exc_type, exc_value, traceback):
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _state.grad_enabled = self._previous
         return False
 
     def __call__(self, function):
@@ -101,25 +119,22 @@ class no_grad:
 
 
 def is_grad_enabled() -> bool:
-    """Return ``True`` when operations record the autograd graph."""
-    return _GRAD_ENABLED
-
-
-#: Monotonic count of autograd graph nodes recorded by :func:`apply_op`.
-#: Inference paths assert a zero delta across a forward pass to prove they
-#: never build graph state (see :class:`repro.serve.InferenceSession`).
-_GRAPH_NODES_CREATED = 0
+    """Return ``True`` when operations record the autograd graph (per thread)."""
+    return _state.grad_enabled
 
 
 def graph_nodes_created() -> int:
-    """Total autograd graph nodes constructed so far in this process.
+    """Total autograd graph nodes constructed so far *on this thread*.
 
     Only nodes that actually record backward state count — operations run
     under :class:`no_grad` (or on tensors that do not require grad) leave the
     counter untouched, which is exactly what makes the counter useful: take
     the difference across a code region to assert it built *zero* graph.
+    Thread-locality keeps the assert honest — a training loop on another
+    thread cannot inflate a serving forward's delta (see
+    :class:`repro.serve.InferenceSession`).
     """
-    return _GRAPH_NODES_CREATED
+    return _state.graph_nodes_created
 
 
 # ---------------------------------------------------------------------------
@@ -161,7 +176,7 @@ def apply_op(name: str, *inputs, **kwargs):
     tensor_cls = _TENSOR_CLS
     tensors = tuple(value if isinstance(value, tensor_cls) else tensor_cls(value)
                     for value in inputs)
-    requires_grad = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    requires_grad = _state.grad_enabled and any(t.requires_grad for t in tensors)
     ctx = OpContext(tuple(t.data for t in tensors), kwargs, requires_grad)
     if _TIMING_HOOKS:
         start = perf_counter()
@@ -172,8 +187,7 @@ def apply_op(name: str, *inputs, **kwargs):
     out = tensor_cls(data, requires_grad=requires_grad,
                      _parents=tensors if requires_grad else (), _op=name)
     if requires_grad:
-        global _GRAPH_NODES_CREATED
-        _GRAPH_NODES_CREATED += 1
+        _state.graph_nodes_created += 1
         out._ctx = ctx
     return out
 

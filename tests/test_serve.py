@@ -68,7 +68,7 @@ class TestInferenceSession:
             """Re-enables gradients inside forward, as a buggy model might."""
 
             def forward(self, x):
-                engine._GRAD_ENABLED = True
+                engine._state.grad_enabled = True
                 return super().forward(x)
 
         model = Sneaky(num_classes=4, neuron_type="linear", base_width=4,
@@ -78,7 +78,7 @@ class TestInferenceSession:
             with pytest.raises(RuntimeError, match="graph"):
                 session.predict(_inputs(2))
         finally:
-            engine._GRAD_ENABLED = True  # restore for the rest of the suite
+            engine._state.grad_enabled = True  # restore for the rest of the suite
 
     def test_loads_bundle_path_directly(self, bundle_path):
         session = InferenceSession(bundle_path)
