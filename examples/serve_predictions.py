@@ -9,6 +9,10 @@ Demonstrates the full serving path added on top of the experiment stack:
    bundle alone and returns a :class:`repro.Predictor`.  ``engine="batched"``
    routes every forward through a :class:`~repro.serve.BatchedEngine`, whose
    scheduler coalesces concurrent requests into fused no-grad forwards.
+   Loading also compiles by default (``compile=True``): the first forward
+   per input shape is traced into a fused, arena-allocated execution plan
+   that later same-shape forwards replay without per-op dispatch — pass
+   ``compile=False`` to force op-by-op dispatch.
 3. A :class:`~repro.serve.ModelRouter` mounts both predictors behind the
    stdlib HTTP server's versioned multi-model API — ``GET /v1/models``,
    ``POST /v1/models/<name>/predict``, ``GET /v1/stats`` — while the legacy
@@ -108,6 +112,9 @@ def main() -> None:
 
         stats = json.load(urllib.request.urlopen(f"{base}/v1/stats"))
         print("quad engine stats:", stats["models"]["quad"])
+        # compile=True (the default) traced each model on first forward;
+        # every same-shape request after that was a plan-cache replay.
+        print("quad plan cache:", stats["models"]["quad"]["plan_cache"])
 
         server.shutdown()
         router.close()  # drains engines; queued clients would get EngineClosed

@@ -33,9 +33,9 @@ from .experiments.runner import default_cache_dir, run_many
 from .io.serialization import atomic_write_json
 
 __all__ = ["time_callable", "fused_kernel_benchmarks", "inference_benchmarks",
-           "serving_benchmarks", "benchmark_experiments", "build_summary",
-           "check_fused_speedups", "check_inference_speedup",
-           "check_serving_speedup", "write_summary"]
+           "serving_benchmarks", "trace_benchmarks", "benchmark_experiments",
+           "build_summary", "check_fused_speedups", "check_inference_speedup",
+           "check_serving_speedup", "check_trace_speedup", "write_summary"]
 
 #: Fused micro-benchmark result keys, kept identical to the historical
 #: pytest-benchmark test names so BENCH_autograd.json stays a trajectory.
@@ -132,7 +132,9 @@ def inference_benchmarks(rounds: int = 5, warmup: int = 2,
 
     model = SimpleCNN(num_classes=10, neuron_type="proposed", rank=3,
                       base_width=8, image_size=16, seed=0)
-    session = InferenceSession(model, max_batch=batch_size)
+    # compile=False: this micro isolates micro-batching amortization, so both
+    # paths run classic dispatch (trace-and-replay has its own section).
+    session = InferenceSession(model, max_batch=batch_size, compile=False)
     inputs = np.random.default_rng(1).standard_normal(
         (batch_size, 3, 16, 16)).astype(np.float32)
     session.warm(input_shape=inputs.shape[1:], batch_sizes=(batch_size, 1))
@@ -201,9 +203,12 @@ def serving_benchmarks(rounds: int = 3, warmup: int = 1, clients: int = 8,
         if errors:
             raise errors[0]
 
-    session_direct = InferenceSession(model, max_batch=64)
+    # compile=False on both sides: this micro isolates the scheduling layer
+    # (queue/coalesce/demux vs serialized one-row forwards); plan compilation
+    # is measured separately by :func:`trace_benchmarks`.
+    session_direct = InferenceSession(model, max_batch=64, compile=False)
     session_direct.warm(input_shape=sample.shape[1:], batch_sizes=(1,))
-    session_batched = InferenceSession(model, max_batch=64)
+    session_batched = InferenceSession(model, max_batch=64, compile=False)
     session_batched.warm(input_shape=sample.shape[1:],
                          batch_sizes=(64, clients, 1))
 
@@ -238,6 +243,71 @@ def serving_benchmarks(rounds: int = 3, warmup: int = 1, clients: int = 8,
     return result
 
 
+def trace_benchmarks(rounds: int = 100, warmup: int = 10,
+                     batch_sizes: tuple[int, ...] = (1, 8)) -> dict:
+    """Traced-replay vs dispatched no-grad forward through a warm session.
+
+    Both paths run the same weights on the same arrays; the only difference
+    is dispatched op-by-op execution vs replaying the compiled
+    :class:`~repro.tensor.plan.ExecutionPlan`, so the ratio isolates what the
+    compiler saves: per-op registry lookup, Tensor/OpContext construction,
+    and per-op output allocation (fused chains + arena buffers).
+
+    The gated micro uses ``mlp_classifier`` — small dense matmuls, so the
+    forward is dispatch-overhead-dominated and the ratio directly measures
+    interpreter cost (the thing the compiler removes).  ``simple_cnn`` is
+    recorded alongside for reference but not gated: its quadratic convolutions
+    dominate the forward, bounding the achievable ratio (Amdahl).
+    """
+    from .models import MLPClassifier, SimpleCNN
+    from .tensor import Tensor, no_grad
+    from .tensor.plan import compile_forward
+
+    def measure(model, sample_shape):
+        model = model.eval()
+        batches = {}
+        plan_info = {}
+        for batch in batch_sizes:
+            inputs = np.random.default_rng(2).standard_normal(
+                (batch, *sample_shape)).astype(np.float32)
+            plan, _ = compile_forward(model, inputs)
+            entry = {}
+            if plan is None:  # untraceable model: record the miss, don't crash
+                entry["fallback"] = True
+            else:
+                with no_grad():
+                    dispatched = time_callable(
+                        lambda: model(Tensor(inputs)).data,
+                        rounds=rounds, warmup=warmup)
+                    traced = time_callable(lambda: plan.replay(inputs),
+                                           rounds=rounds, warmup=warmup)
+                entry = {"dispatched": dispatched, "traced": traced}
+                if traced["mean_seconds"] > 0 and traced["min_seconds"] > 0:
+                    entry["speedup"] = (dispatched["mean_seconds"]
+                                        / traced["mean_seconds"])
+                    entry["speedup_best"] = (dispatched["min_seconds"]
+                                             / traced["min_seconds"])
+                plan_info = {k: v for k, v in plan.describe().items()
+                             if k != "replays"}
+            batches[str(batch)] = entry
+        return batches, plan_info
+
+    mlp = MLPClassifier(in_features=3 * 16 * 16, num_classes=10,
+                        neuron_type="proposed", seed=0)
+    cnn = SimpleCNN(num_classes=10, neuron_type="proposed", rank=3,
+                    base_width=8, image_size=16, seed=0)
+    mlp_batches, mlp_plan = measure(mlp, (3, 16, 16))
+    cnn_batches, cnn_plan = measure(cnn, (3, 16, 16))
+    return {
+        "model": "mlp_classifier/proposed",
+        "batches": mlp_batches,
+        "plan": mlp_plan,
+        "reference": {
+            "simple_cnn/proposed": {"batches": cnn_batches, "plan": cnn_plan},
+        },
+    }
+
+
 def benchmark_experiments(names: list[str], scale: str = "smoke",
                           cache_dir=None, progress=None) -> dict:
     """End-to-end wall time per experiment via the cached runner (cache bypassed).
@@ -267,13 +337,14 @@ def benchmark_experiments(names: list[str], scale: str = "smoke",
 
 def build_summary(figure_repros: dict, fused_ops: dict, fused_speedups: dict,
                   scale: str, started: float, inference: dict | None = None,
-                  serving: dict | None = None) -> dict:
+                  serving: dict | None = None, trace: dict | None = None) -> dict:
     return {
         "figure_repros": figure_repros,
         "fused_ops": fused_ops,
         "fused_speedups": fused_speedups,
         "inference": inference or {},
         "serving": serving or {},
+        "trace": trace or {},
         "scale": scale,
         "targets": sorted(figure_repros),
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(started)),
@@ -337,6 +408,35 @@ def check_serving_speedup(summary: dict, minimum: float) -> list[str]:
                 f"(best-of-rounds {best:.3f}x) is below the {minimum:.2f}x "
                 f"floor at {serving.get('clients')} concurrent clients"]
     return []
+
+
+def check_trace_speedup(summary: dict, minimum: float) -> list[str]:
+    """Regression messages when traced replay falls below ``minimum``× the
+    dispatched forward at any benched batch size.
+
+    Gates the ``mlp_classifier`` micro only (dispatch-overhead-dominated, so
+    the ratio is stable); the ``simple_cnn`` reference numbers are recorded
+    but compute-bound and therefore not gated.  Like the other gates, a batch
+    size passes when *either* the mean-based or the best-of-rounds ratio
+    clears the floor.
+    """
+    trace = summary.get("trace", {})
+    batches = trace.get("batches")
+    if not batches:
+        return ["trace benchmark missing from the summary"]
+    violations = []
+    for batch, entry in sorted(batches.items(), key=lambda kv: int(kv[0])):
+        ratio = entry.get("speedup")
+        if ratio is None:
+            violations.append(f"trace speedup missing at batch {batch}")
+            continue
+        best = entry.get("speedup_best", ratio)
+        if max(ratio, best) < minimum:
+            violations.append(
+                f"traced-replay speedup = {ratio:.3f}x (best-of-rounds "
+                f"{best:.3f}x) is below the {minimum:.2f}x floor at batch "
+                f"{batch} ({trace.get('model')})")
+    return violations
 
 
 def write_summary(summary: dict, output) -> None:

@@ -13,16 +13,18 @@
   experiment wall times through the same cached runner (cache bypassed), the
   fused-kernel micro-benchmarks, the batched-inference micro-benchmark, and
   the concurrent-load serving micro-benchmark (batched vs direct engine at 8
-  client threads), with optional ``--min-fused-speedup`` /
-  ``--min-inference-speedup`` / ``--min-serving-speedup`` CI gates.
+  client threads), and the traced-replay-vs-dispatch micro-benchmark, with
+  optional ``--min-fused-speedup`` / ``--min-inference-speedup`` /
+  ``--min-serving-speedup`` / ``--min-trace-speedup`` CI gates.
 * ``predict`` — batched, no-grad inference on a saved model bundle (from
   a ``.npy`` file or seeded random inputs), JSON out.
 * ``serve``   — expose one or more bundles over HTTP through the v1
   multi-model API (``GET /v1/models``, ``POST /v1/models/<name>/predict``,
   ``GET /v1/stats``, plus legacy ``/healthz`` and ``/predict`` shims),
   with cross-request dynamic batching by default (``--engine batched``,
-  tuned by ``--max-batch`` / ``--max-wait-ms`` / ``--queue-size``) and
-  graceful SIGINT/SIGTERM draining.
+  tuned by ``--max-batch`` / ``--max-wait-ms`` / ``--queue-size``),
+  trace-and-replay compilation per model (disable with ``--no-compile``),
+  and graceful SIGINT/SIGTERM draining.
 """
 
 from __future__ import annotations
@@ -134,6 +136,15 @@ def build_parser() -> argparse.ArgumentParser:
                                    "than RATIO times the direct engine's "
                                    "requests/sec under concurrent load "
                                    "(CI perf gate)")
+    bench_parser.add_argument("--skip-trace", action="store_true",
+                              help="skip the traced-replay-vs-dispatch "
+                                   "micro-benchmark")
+    bench_parser.add_argument("--min-trace-speedup", type=float, default=None,
+                              metavar="RATIO",
+                              help="fail when traced-plan replay is less than "
+                                   "RATIO times faster than dispatched "
+                                   "no-grad forwards at any benched batch "
+                                   "size (CI perf gate)")
     bench_parser.set_defaults(handler=_command_bench)
 
     predict_parser = commands.add_parser(
@@ -197,6 +208,10 @@ def build_parser() -> argparse.ArgumentParser:
                                    "bound in seconds before a 504 (default: "
                                    "30; direct forwards run inline and "
                                    "cannot time out)")
+    serve_parser.add_argument("--no-compile", action="store_true",
+                              help="disable trace-and-replay compilation and "
+                                   "dispatch every forward through the "
+                                   "autograd engine")
     serve_parser.add_argument("--quiet", action="store_true",
                               help="suppress per-request access logs")
     serve_parser.set_defaults(handler=_command_serve)
@@ -309,6 +324,10 @@ def _command_bench(args) -> int:
         print("error: --skip-serving would make --min-serving-speedup a "
               "vacuous pass; drop one of the two", file=sys.stderr)
         return 2
+    if args.skip_trace and args.min_trace_speedup is not None:
+        print("error: --skip-trace would make --min-trace-speedup a vacuous "
+              "pass; drop one of the two", file=sys.stderr)
+        return 2
     names = _resolve_names(args.experiments)
     scale = get_scale(args.scale)
     cache_dir = _cache_dir(args)
@@ -331,10 +350,13 @@ def _command_bench(args) -> int:
         bench_module.inference_benchmarks(rounds=max(3, args.rounds // 6))
     serving = {} if args.skip_serving else \
         bench_module.serving_benchmarks(rounds=max(3, args.rounds // 10))
+    trace = {} if args.skip_trace else \
+        bench_module.trace_benchmarks(rounds=max(10, args.rounds * 3))
 
     summary = bench_module.build_summary(figure_repros, fused_ops, fused_speedups,
                                          scale=scale.name, started=started,
-                                         inference=inference, serving=serving)
+                                         inference=inference, serving=serving,
+                                         trace=trace)
     rows = [{"experiment": name, "scale": scale.name,
              "seconds": stats["mean_seconds"]}
             for name, stats in figure_repros.items()]
@@ -359,6 +381,11 @@ def _command_bench(args) -> int:
               f"{serving['batched_rps']:>10.1f} r/s")
         print(f"  {'serving batched-engine speedup':<45s} "
               f"{serving['speedup']:>11.2f}x")
+    if trace:
+        for batch, entry in sorted(trace["batches"].items(),
+                                   key=lambda kv: int(kv[0])):
+            label = f"traced replay speedup (batch {batch})"
+            print(f"  {label:<45s} {entry['speedup']:>11.2f}x")
 
     if args.output:
         bench_module.write_summary(summary, args.output)
@@ -389,6 +416,15 @@ def _command_bench(args) -> int:
             return 1
         print(f"batched serving engine >= {args.min_serving_speedup:.2f}x "
               f"the direct engine under concurrent load")
+    if args.min_trace_speedup is not None:
+        violations = bench_module.check_trace_speedup(
+            summary, args.min_trace_speedup)
+        if violations:
+            for violation in violations:
+                print(f"PERF REGRESSION: {violation}", file=sys.stderr)
+            return 1
+        print(f"traced-plan replay >= {args.min_trace_speedup:.2f}x "
+              f"dispatched no-grad forwards at every benched batch size")
     return 0
 
 
@@ -451,5 +487,5 @@ def _command_serve(args) -> int:
           max_batch=args.max_batch, quiet=args.quiet, models=models,
           engine=args.engine, max_wait_ms=args.max_wait_ms,
           queue_size=args.queue_size, request_timeout=args.request_timeout,
-          default_model=args.default_model)
+          default_model=args.default_model, compile=not args.no_compile)
     return 0

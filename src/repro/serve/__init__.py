@@ -65,12 +65,15 @@ class Predictor:
     def __init__(self, model, normalization: dict | None = None,
                  classes: list[str] | None = None, input_shape: tuple | None = None,
                  max_batch: int = 64, warm: bool = False, engine="direct",
-                 max_wait_ms: float | None = None, queue_size: int | None = None):
+                 max_wait_ms: float | None = None, queue_size: int | None = None,
+                 compile: bool = True):
         if isinstance(engine, ServingEngine) and \
                 getattr(engine, "session", None) is not None:
             self.session = engine.session
+            self.session.compile_enabled = bool(compile)
         else:
-            self.session = InferenceSession(model, max_batch=max_batch)
+            self.session = InferenceSession(model, max_batch=max_batch,
+                                            compile=compile)
         self.engine = make_engine(engine, self.session,
                                   max_wait_ms=max_wait_ms, queue_size=queue_size)
         self.pipeline = Pipeline(self.session, normalization=normalization,
@@ -82,10 +85,10 @@ class Predictor:
     @classmethod
     def from_bundle(cls, bundle_or_path, max_batch: int = 64, warm: bool = False,
                     engine="direct", max_wait_ms: float | None = None,
-                    queue_size: int | None = None) -> "Predictor":
+                    queue_size: int | None = None, compile: bool = True) -> "Predictor":
         """Build a predictor from a loaded bundle or a bundle path."""
         return cls(bundle_or_path, max_batch=max_batch, warm=warm, engine=engine,
-                   max_wait_ms=max_wait_ms, queue_size=queue_size)
+                   max_wait_ms=max_wait_ms, queue_size=queue_size, compile=compile)
 
     # -- convenience properties -------------------------------------------------
 
@@ -139,8 +142,10 @@ class Predictor:
         return info
 
     def stats(self) -> dict:
-        """The engine's scheduling stats (served on ``/v1/stats``)."""
-        return self.engine.stats()
+        """Engine scheduling stats + plan-cache stats (served on ``/v1/stats``)."""
+        stats = self.engine.stats()
+        stats["plan_cache"] = self.session.plan_stats()
+        return stats
 
     def close(self) -> None:
         """Close the engine: stop accepting work, fail queued futures loudly."""
@@ -154,14 +159,18 @@ class Predictor:
 
 
 def load(path, max_batch: int = 64, warm: bool = True, engine="direct",
-         max_wait_ms: float | None = None, queue_size: int | None = None) -> Predictor:
+         max_wait_ms: float | None = None, queue_size: int | None = None,
+         compile: bool = True) -> Predictor:
     """Load a bundle from ``path`` into a ready-to-serve :class:`Predictor`.
 
     Re-exported as :func:`repro.load`; warming is on by default so the first
-    request after process start doesn't pay the buffer-allocation cost.
-    ``engine="batched"`` opts the predictor into cross-request dynamic
-    batching (what ``repro serve`` uses by default).
+    request after process start doesn't pay the buffer-allocation cost —
+    and, with ``compile=True`` (default), warming also traces and compiles
+    the execution plan for the steady-state batch shape, so real traffic
+    replays from the first request.  ``engine="batched"`` opts the predictor
+    into cross-request dynamic batching (what ``repro serve`` uses by
+    default); ``compile=False`` forces classic per-op dispatch.
     """
     return Predictor.from_bundle(path, max_batch=max_batch, warm=warm,
                                  engine=engine, max_wait_ms=max_wait_ms,
-                                 queue_size=queue_size)
+                                 queue_size=queue_size, compile=compile)

@@ -245,17 +245,20 @@ def serve(bundle_path=None, host: str = "127.0.0.1", port: int = 8000,
           max_batch: int = 64, quiet: bool = False, models: dict | None = None,
           engine: str = "batched", max_wait_ms: float = 2.0,
           queue_size: int = 256, request_timeout: float | None = 30.0,
-          default_model: str | None = None, ready=None) -> None:
+          default_model: str | None = None, ready=None,
+          compile: bool = True) -> None:
     """Load bundles and serve them until interrupted (the CLI entry point).
 
     ``bundle_path`` (legacy single-model form) is mounted as ``default``;
     ``models`` maps additional names to bundle paths.  Each model gets its
     own session and serving engine (``engine="batched"`` by default — direct
-    lock-and-forward with ``engine="direct"``).  SIGINT/SIGTERM shut down
-    gracefully: the queue drains, queued futures fail with a clear error
-    instead of hanging their clients, then the process exits.  ``ready``, if
-    given, is called with the bound server before the serve loop starts
-    (embedding/test hook).
+    lock-and-forward with ``engine="direct"``).  ``compile=True`` (default)
+    turns on trace-and-replay compilation per session; loading warms each
+    model, which traces and compiles its steady-state plan before the first
+    request.  SIGINT/SIGTERM shut down gracefully: the queue drains, queued
+    futures fail with a clear error instead of hanging their clients, then
+    the process exits.  ``ready``, if given, is called with the bound server
+    before the serve loop starts (embedding/test hook).
     """
     from . import load
 
@@ -275,7 +278,8 @@ def serve(bundle_path=None, host: str = "127.0.0.1", port: int = 8000,
     router = ModelRouter()
     for name, path in specs.items():
         router.add(name, load(path, max_batch=max_batch, engine=engine,
-                              max_wait_ms=max_wait_ms, queue_size=queue_size))
+                              max_wait_ms=max_wait_ms, queue_size=queue_size,
+                              compile=compile))
     if default_model is not None:
         router.set_default(default_model)
 

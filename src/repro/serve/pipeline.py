@@ -58,10 +58,15 @@ class Pipeline:
 
     def __init__(self, session, normalization: dict | None = None,
                  classes: list[str] | None = None,
-                 input_shape: tuple | None = None, engine=None):
+                 input_shape: tuple | None = None, engine=None,
+                 compile: bool | None = None):
         bundle = getattr(session, "bundle", None)
         self.session = session
         self.engine = engine
+        # ``compile=`` overrides the session's trace-and-replay switch (leave
+        # None to keep whatever the session was built with).
+        if compile is not None and hasattr(session, "compile_enabled"):
+            session.compile_enabled = bool(compile)
         self.normalization = normalization if normalization is not None else \
             (bundle.normalization if bundle is not None else None)
         self.classes = classes if classes is not None else \

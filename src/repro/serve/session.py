@@ -17,6 +17,15 @@ answers ``predict`` calls on the raw-logits level:
   so the first real request doesn't pay the allocation cost.
 * **thread safety** — a lock serializes forwards, making one session safely
   shareable across the threads of :mod:`repro.serve.http`.
+* **trace-and-replay compilation** — with ``compile=True`` (the default) the
+  first forward for each ``(chunk shape, dtype)`` records the model's op
+  graph and compiles it into a :class:`~repro.tensor.plan.ExecutionPlan`;
+  subsequent same-shape forwards replay the plan with zero Tensor/OpContext/
+  graph-node allocation.  Plans are validated byte-identical against normal
+  dispatch at compile time; models that cannot be traced (data-dependent
+  control flow, array math outside the op registry) are cached as fallbacks
+  and keep dispatching — compilation is always a transparent fast path,
+  never a behavior change.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ import numpy as np
 from ..nn.module import Module
 from ..tensor import Tensor, no_grad
 from ..tensor.engine import graph_nodes_created
+from ..tensor.plan import FALLBACK, PlanCache, compile_forward, plan_key
 
 __all__ = ["InferenceSession"]
 
@@ -47,9 +57,14 @@ class InferenceSession:
         Assert after every forward that no autograd graph was constructed
         (cheap: one integer comparison).  Disable only if a custom model
         legitimately builds graph state during inference.
+    compile:
+        Trace-and-replay compilation (default on).  Serving wants it;
+        training paths never construct sessions, so they are unaffected.
+        Disable to force every forward through normal dispatch.
     """
 
-    def __init__(self, model, max_batch: int = 64, strict_no_graph: bool = True):
+    def __init__(self, model, max_batch: int = 64, strict_no_graph: bool = True,
+                 compile: bool = True):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.bundle = None
@@ -63,6 +78,8 @@ class InferenceSession:
         self.model = model.eval()
         self.max_batch = int(max_batch)
         self.strict_no_graph = strict_no_graph
+        self.compile_enabled = bool(compile)
+        self.plan_cache = PlanCache()
         self.batches_served = 0
         self.samples_served = 0
         self._lock = threading.Lock()
@@ -91,6 +108,35 @@ class InferenceSession:
 
     @no_grad()
     def _forward(self, chunk: np.ndarray) -> np.ndarray:
+        if self.compile_enabled:
+            key = plan_key((chunk.shape,), (chunk.dtype,))
+            entry = self.plan_cache.lookup(key)
+            if entry is not None and entry is not FALLBACK:
+                before = graph_nodes_created()
+                out = entry.replay(chunk)
+                if self.strict_no_graph and graph_nodes_created() != before:
+                    raise RuntimeError(
+                        "plan replay constructed autograd graph nodes; the "
+                        "compiled plan is not allocation-free")
+                return out
+            if entry is None:
+                # First time this (shape, dtype) is seen: trace + compile, and
+                # serve the trace run's own forward result.  A failed trace or
+                # validation caches a fallback so the key dispatches forever.
+                before = graph_nodes_created()
+                plan, out = compile_forward(self.model, chunk)
+                if self.strict_no_graph and graph_nodes_created() != before:
+                    # The trace (or its validation forward) built graph nodes:
+                    # the model is doing graph work outside the engine's
+                    # gradient switch.  Don't cache a plan for it — replaying
+                    # would silently mask the bug strict mode exists to catch.
+                    raise RuntimeError(
+                        "inference forward constructed autograd graph nodes "
+                        "despite no_grad; the model is doing graph work "
+                        "outside the engine's gradient switch")
+                self.plan_cache.store(key, plan)
+                if out is not None:
+                    return out
         before = graph_nodes_created()
         out = self.model(Tensor(chunk)).data
         if self.strict_no_graph:
@@ -112,6 +158,10 @@ class InferenceSession:
              batch_sizes: tuple[int, ...] | None = None,
              force: bool = False) -> bool:
         """Run throwaway forwards to populate the engine's buffer caches.
+
+        With compilation enabled this is also what triggers tracing: each
+        warmed batch size records and compiles an execution plan, so the
+        first real request replays instead of paying the trace cost.
 
         ``input_shape`` is the per-sample shape; when omitted it is taken from
         the session's bundle metadata.  ``batch_sizes`` defaults to
@@ -140,6 +190,12 @@ class InferenceSession:
 
     # -- introspection ---------------------------------------------------------
 
+    def plan_stats(self) -> dict:
+        """Plan-cache counters plus whether compilation is enabled."""
+        stats = self.plan_cache.stats()
+        stats["compile"] = self.compile_enabled
+        return stats
+
     def describe(self) -> dict:
         """Session + model summary (the backbone of ``/healthz``)."""
         spec = getattr(self.model, "model_spec", None)
@@ -149,6 +205,7 @@ class InferenceSession:
             "max_batch": self.max_batch,
             "batches_served": self.batches_served,
             "samples_served": self.samples_served,
+            "plan_cache": self.plan_stats(),
         }
         if self.bundle is not None:
             if self.bundle.input_shape is not None:

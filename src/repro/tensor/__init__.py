@@ -15,6 +15,10 @@ Public surface:
 * :mod:`repro.tensor.conv_utils` — conv2d / unfold / pooling primitives.
 * :mod:`repro.tensor.fused` — fused composite kernels for the paper's
   quadratic-neuron hot paths.
+* :mod:`repro.tensor.trace` / :mod:`repro.tensor.plan` — trace-and-replay
+  inference compiler: record the op graph once, replay a fused,
+  arena-allocated :class:`~repro.tensor.plan.ExecutionPlan` with zero
+  Tensor/graph allocation.
 * :mod:`repro.tensor.grad_check` — finite-difference gradient verification,
   including a registry-driven sweep over every registered op.
 """
@@ -28,6 +32,9 @@ from .engine import (
 )
 from .ops import register_op, op_names, column_cache
 from .tensor import Tensor, no_grad, is_grad_enabled, unbroadcast, DEFAULT_DTYPE
+from . import trace, plan
+from .trace import record_trace, TraceError
+from .plan import ExecutionPlan, PlanCache, compile_forward, compile_plan
 from . import functional
 from . import fused
 from .fused import linear, quadratic_conv2d, quadratic_form, quadratic_response
@@ -63,6 +70,14 @@ __all__ = [
     "add_op_timing_hook",
     "remove_op_timing_hook",
     "column_cache",
+    "trace",
+    "plan",
+    "record_trace",
+    "TraceError",
+    "ExecutionPlan",
+    "PlanCache",
+    "compile_forward",
+    "compile_plan",
     "functional",
     "fused",
     "linear",

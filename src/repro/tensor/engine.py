@@ -68,11 +68,24 @@ class _ThreadState(threading.local):
     def __init__(self):
         self.grad_enabled = True
         self.graph_nodes_created = 0
+        # Active OpTracer (repro.tensor.trace) or None.  Thread-local so a
+        # session tracing on a scheduler thread never records ops from a
+        # concurrent training thread into its plan.
+        self.tracer = None
 
 
 _state = _ThreadState()
 
-_TIMING_HOOKS: list = []
+# Registered timing hooks, kept as an immutable tuple that is *replaced* (not
+# mutated) on add/remove.  ``_emit_timing`` iterates whatever snapshot it
+# reads; a concurrent add/remove builds a new tuple and can never invalidate
+# an iteration already in flight (the old list-based storage raced here).
+_TIMING_HOOKS: tuple = ()
+_TIMING_HOOKS_LOCK = threading.Lock()
+
+# Shared context kwargs for the (common) no-kwargs dispatch; OpContext holders
+# must treat ``ctx.kwargs`` as read-only, so one empty dict can serve them all.
+_NO_KWARGS: dict = {}
 
 
 # ---------------------------------------------------------------------------
@@ -146,14 +159,22 @@ def add_op_timing_hook(hook) -> None:
 
     Forward passes report under the op name, backward passes under
     ``"<name>:backward"``.  Timing is only measured while at least one hook is
-    installed, so the zero-hook fast path stays free.
+    installed, so the zero-hook fast path stays free.  Registration swaps in a
+    fresh tuple snapshot, so hooks may be added or removed from any thread
+    while other threads are mid-dispatch.
     """
-    _TIMING_HOOKS.append(hook)
+    global _TIMING_HOOKS
+    with _TIMING_HOOKS_LOCK:
+        _TIMING_HOOKS = _TIMING_HOOKS + (hook,)
 
 
 def remove_op_timing_hook(hook) -> None:
     """Unregister a hook added with :func:`add_op_timing_hook`."""
-    _TIMING_HOOKS.remove(hook)
+    global _TIMING_HOOKS
+    with _TIMING_HOOKS_LOCK:
+        hooks = list(_TIMING_HOOKS)
+        hooks.remove(hook)
+        _TIMING_HOOKS = tuple(hooks)
 
 
 def _emit_timing(name: str, seconds: float) -> None:
@@ -174,21 +195,37 @@ def apply_op(name: str, *inputs, **kwargs):
     """
     opdef = get_op(name)
     tensor_cls = _TENSOR_CLS
-    tensors = tuple(value if isinstance(value, tensor_cls) else tensor_cls(value)
-                    for value in inputs)
+    # Fast path: most dispatches (everything issued by Tensor methods and
+    # Module forwards) pass Tensors only — skip the per-element conditional
+    # rebuild and reuse the argument tuple as-is.
+    for value in inputs:
+        if not isinstance(value, tensor_cls):
+            tensors = tuple(v if isinstance(v, tensor_cls) else tensor_cls(v)
+                            for v in inputs)
+            break
+    else:
+        tensors = inputs
     requires_grad = _state.grad_enabled and any(t.requires_grad for t in tensors)
-    ctx = OpContext(tuple(t.data for t in tensors), kwargs, requires_grad)
+    ctx = OpContext(tuple(t.data for t in tensors), kwargs or _NO_KWARGS, requires_grad)
     if _TIMING_HOOKS:
         start = perf_counter()
-        data = opdef.forward(ctx, *ctx.inputs, **kwargs)
+        if kwargs:
+            data = opdef.forward(ctx, *ctx.inputs, **kwargs)
+        else:
+            data = opdef.forward(ctx, *ctx.inputs)
         _emit_timing(name, perf_counter() - start)
-    else:
+    elif kwargs:
         data = opdef.forward(ctx, *ctx.inputs, **kwargs)
+    else:
+        data = opdef.forward(ctx, *ctx.inputs)
     out = tensor_cls(data, requires_grad=requires_grad,
                      _parents=tensors if requires_grad else (), _op=name)
     if requires_grad:
         _state.graph_nodes_created += 1
         out._ctx = ctx
+    tracer = _state.tracer
+    if tracer is not None:
+        tracer.record(name, tensors, kwargs, out)
     return out
 
 

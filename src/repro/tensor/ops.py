@@ -90,16 +90,28 @@ class OpContext:
 
 
 class OpDef:
-    """A primitive operation declared once: ``(name, forward, vjp, sample)``."""
+    """A primitive operation declared once: ``(name, forward, vjp, sample)``.
 
-    __slots__ = ("name", "forward", "vjp", "sample")
+    ``elementwise`` marks ops that map inputs to the output point-by-point
+    (after broadcasting) with no cross-element data flow; the trace compiler
+    (:mod:`repro.tensor.plan`) may fuse chains of such ops and write their
+    results into preallocated arena buffers.  ``forward_out`` is the
+    out-parameter twin of ``forward`` used for that: ``forward_out(out,
+    *arrays, **kwargs)`` must produce **bit-identical** results to ``forward``
+    while writing into ``out`` (which is allowed to alias an input array).
+    """
+
+    __slots__ = ("name", "forward", "vjp", "sample", "elementwise", "forward_out")
 
     def __init__(self, name: str, forward: Callable, vjp: Callable,
-                 sample: Callable | None = None):
+                 sample: Callable | None = None, elementwise: bool = False,
+                 forward_out: Callable | None = None):
         self.name = name
         self.forward = forward
         self.vjp = vjp
         self.sample = sample
+        self.elementwise = elementwise
+        self.forward_out = forward_out
 
     def __repr__(self) -> str:
         return f"OpDef({self.name!r})"
@@ -109,11 +121,12 @@ OPS: dict[str, OpDef] = {}
 
 
 def register_op(name: str, forward: Callable, vjp: Callable,
-                sample: Callable | None = None) -> OpDef:
+                sample: Callable | None = None, *, elementwise: bool = False,
+                forward_out: Callable | None = None) -> OpDef:
     """Register a primitive; raises if ``name`` is already taken."""
     if name in OPS:
         raise ValueError(f"op '{name}' is already registered")
-    opdef = OpDef(name, forward, vjp, sample)
+    opdef = OpDef(name, forward, vjp, sample, elementwise, forward_out)
     OPS[name] = opdef
     return opdef
 
@@ -185,6 +198,10 @@ def _add_fw(ctx, a, b):
     return a + b
 
 
+def _add_out(out, a, b):
+    np.add(a, b, out=out)
+
+
 def _add_vjp(ctx, grad, needs):
     a, b = ctx.inputs
     return (unbroadcast(grad, a.shape) if needs[0] else None,
@@ -192,11 +209,16 @@ def _add_vjp(ctx, grad, needs):
 
 
 register_op("add", _add_fw, _add_vjp,
-            sample=lambda rng: ([_sn(rng, 2, 3), _sn(rng, 3)], {}))
+            sample=lambda rng: ([_sn(rng, 2, 3), _sn(rng, 3)], {}),
+            elementwise=True, forward_out=_add_out)
 
 
 def _sub_fw(ctx, a, b):
     return a - b
+
+
+def _sub_out(out, a, b):
+    np.subtract(a, b, out=out)
 
 
 def _sub_vjp(ctx, grad, needs):
@@ -206,22 +228,32 @@ def _sub_vjp(ctx, grad, needs):
 
 
 register_op("sub", _sub_fw, _sub_vjp,
-            sample=lambda rng: ([_sn(rng, 2, 3), _sn(rng, 1, 3)], {}))
+            sample=lambda rng: ([_sn(rng, 2, 3), _sn(rng, 1, 3)], {}),
+            elementwise=True, forward_out=_sub_out)
 
 
 def _neg_fw(ctx, a):
     return -a
 
 
+def _neg_out(out, a):
+    np.negative(a, out=out)
+
+
 def _neg_vjp(ctx, grad, needs):
     return (-grad,)
 
 
-register_op("neg", _neg_fw, _neg_vjp, sample=lambda rng: ([_sn(rng, 3, 4)], {}))
+register_op("neg", _neg_fw, _neg_vjp, sample=lambda rng: ([_sn(rng, 3, 4)], {}),
+            elementwise=True, forward_out=_neg_out)
 
 
 def _mul_fw(ctx, a, b):
     return a * b
+
+
+def _mul_out(out, a, b):
+    np.multiply(a, b, out=out)
 
 
 def _mul_vjp(ctx, grad, needs):
@@ -231,11 +263,16 @@ def _mul_vjp(ctx, grad, needs):
 
 
 register_op("mul", _mul_fw, _mul_vjp,
-            sample=lambda rng: ([_sn(rng, 2, 3, 4), _sn(rng, 3, 4)], {}))
+            sample=lambda rng: ([_sn(rng, 2, 3, 4), _sn(rng, 3, 4)], {}),
+            elementwise=True, forward_out=_mul_out)
 
 
 def _div_fw(ctx, a, b):
     return a / b
+
+
+def _div_out(out, a, b):
+    np.divide(a, b, out=out)
 
 
 def _div_vjp(ctx, grad, needs):
@@ -245,11 +282,16 @@ def _div_vjp(ctx, grad, needs):
 
 
 register_op("div", _div_fw, _div_vjp,
-            sample=lambda rng: ([_sn(rng, 3, 3), _positive(rng, 3, 3)], {}))
+            sample=lambda rng: ([_sn(rng, 3, 3), _positive(rng, 3, 3)], {}),
+            elementwise=True, forward_out=_div_out)
 
 
 def _pow_fw(ctx, a, exponent):
     return a ** exponent
+
+
+def _pow_out(out, a, exponent):
+    np.power(a, exponent, out=out)
 
 
 def _pow_vjp(ctx, grad, needs):
@@ -259,7 +301,8 @@ def _pow_vjp(ctx, grad, needs):
 
 
 register_op("pow", _pow_fw, _pow_vjp,
-            sample=lambda rng: ([_sn(rng, 3, 4)], {"exponent": 3.0}))
+            sample=lambda rng: ([_sn(rng, 3, 4)], {"exponent": 3.0}),
+            elementwise=True, forward_out=_pow_out)
 
 
 def _matmul_fw(ctx, a, b):
@@ -300,6 +343,10 @@ def _maximum_fw(ctx, a, b):
     return np.maximum(a, b)
 
 
+def _maximum_out(out, a, b):
+    np.maximum(a, b, out=out)
+
+
 def _maximum_vjp(ctx, grad, needs):
     a, b = ctx.inputs
     a_wins = ctx.saved
@@ -312,7 +359,8 @@ def _maximum_sample(rng):
     return [a, a + _away_from_zero(rng, 4, 4)], {}
 
 
-register_op("maximum", _maximum_fw, _maximum_vjp, sample=_maximum_sample)
+register_op("maximum", _maximum_fw, _maximum_vjp, sample=_maximum_sample,
+            elementwise=True, forward_out=_maximum_out)
 
 
 # ---------------------------------------------------------------------------
@@ -326,22 +374,32 @@ def _exp_fw(ctx, a):
     return value
 
 
+def _exp_out(out, a):
+    np.exp(a, out=out)
+
+
 def _exp_vjp(ctx, grad, needs):
     return (grad * ctx.saved,)
 
 
-register_op("exp", _exp_fw, _exp_vjp, sample=lambda rng: ([_sn(rng, 3, 4)], {}))
+register_op("exp", _exp_fw, _exp_vjp, sample=lambda rng: ([_sn(rng, 3, 4)], {}),
+            elementwise=True, forward_out=_exp_out)
 
 
 def _log_fw(ctx, a):
     return np.log(a)
 
 
+def _log_out(out, a):
+    np.log(a, out=out)
+
+
 def _log_vjp(ctx, grad, needs):
     return (grad / ctx.inputs[0],)
 
 
-register_op("log", _log_fw, _log_vjp, sample=lambda rng: ([_positive(rng, 3, 4)], {}))
+register_op("log", _log_fw, _log_vjp, sample=lambda rng: ([_positive(rng, 3, 4)], {}),
+            elementwise=True, forward_out=_log_out)
 
 
 def _sqrt_fw(ctx, a):
@@ -351,22 +409,32 @@ def _sqrt_fw(ctx, a):
     return value
 
 
+def _sqrt_out(out, a):
+    np.sqrt(a, out=out)
+
+
 def _sqrt_vjp(ctx, grad, needs):
     return (grad * 0.5 / ctx.saved,)
 
 
-register_op("sqrt", _sqrt_fw, _sqrt_vjp, sample=lambda rng: ([_positive(rng, 3, 4)], {}))
+register_op("sqrt", _sqrt_fw, _sqrt_vjp, sample=lambda rng: ([_positive(rng, 3, 4)], {}),
+            elementwise=True, forward_out=_sqrt_out)
 
 
 def _abs_fw(ctx, a):
     return np.abs(a)
 
 
+def _abs_out(out, a):
+    np.absolute(a, out=out)
+
+
 def _abs_vjp(ctx, grad, needs):
     return (grad * np.sign(ctx.inputs[0]),)
 
 
-register_op("abs", _abs_fw, _abs_vjp, sample=lambda rng: ([_away_from_zero(rng, 3, 4)], {}))
+register_op("abs", _abs_fw, _abs_vjp, sample=lambda rng: ([_away_from_zero(rng, 3, 4)], {}),
+            elementwise=True, forward_out=_abs_out)
 
 
 def _tanh_fw(ctx, a):
@@ -376,11 +444,16 @@ def _tanh_fw(ctx, a):
     return value
 
 
+def _tanh_out(out, a):
+    np.tanh(a, out=out)
+
+
 def _tanh_vjp(ctx, grad, needs):
     return (grad * (1.0 - ctx.saved ** 2),)
 
 
-register_op("tanh", _tanh_fw, _tanh_vjp, sample=lambda rng: ([_sn(rng, 3, 4)], {}))
+register_op("tanh", _tanh_fw, _tanh_vjp, sample=lambda rng: ([_sn(rng, 3, 4)], {}),
+            elementwise=True, forward_out=_tanh_out)
 
 
 def _sigmoid_fw(ctx, a):
@@ -390,12 +463,23 @@ def _sigmoid_fw(ctx, a):
     return value
 
 
+def _sigmoid_out(out, a):
+    # Mirrors ``1.0 / (1.0 + np.exp(-a))`` ufunc-by-ufunc so the result is
+    # bit-identical to ``_sigmoid_fw`` while using ``out`` as scratch (``out``
+    # may alias ``a``; each ufunc reads its input before the aliased store).
+    np.negative(a, out=out)
+    np.exp(out, out=out)
+    np.add(out, 1.0, out=out)
+    np.divide(1.0, out, out=out)
+
+
 def _sigmoid_vjp(ctx, grad, needs):
     value = ctx.saved
     return (grad * value * (1.0 - value),)
 
 
-register_op("sigmoid", _sigmoid_fw, _sigmoid_vjp, sample=lambda rng: ([_sn(rng, 3, 4)], {}))
+register_op("sigmoid", _sigmoid_fw, _sigmoid_vjp, sample=lambda rng: ([_sn(rng, 3, 4)], {}),
+            elementwise=True, forward_out=_sigmoid_out)
 
 
 def _relu_fw(ctx, a):
@@ -405,12 +489,19 @@ def _relu_fw(ctx, a):
     return a * mask
 
 
+def _relu_out(out, a):
+    # ``a * (a > 0)``, not ``np.maximum(a, 0)``: the mask form propagates the
+    # sign of -0.0 exactly like ``_relu_fw`` does.
+    np.multiply(a, a > 0, out=out)
+
+
 def _relu_vjp(ctx, grad, needs):
     return (grad * ctx.saved,)
 
 
 register_op("relu", _relu_fw, _relu_vjp,
-            sample=lambda rng: ([_away_from_zero(rng, 3, 4)], {}))
+            sample=lambda rng: ([_away_from_zero(rng, 3, 4)], {}),
+            elementwise=True, forward_out=_relu_out)
 
 
 def _gelu_fw(ctx, a):
@@ -421,11 +512,17 @@ def _gelu_fw(ctx, a):
     return a * cdf
 
 
+def _gelu_out(out, a):
+    cdf = 0.5 * (1.0 + special.erf(a / np.sqrt(2.0)))
+    np.multiply(a, cdf, out=out)
+
+
 def _gelu_vjp(ctx, grad, needs):
     return (grad * ctx.saved,)
 
 
-register_op("gelu", _gelu_fw, _gelu_vjp, sample=lambda rng: ([_sn(rng, 3, 5)], {}))
+register_op("gelu", _gelu_fw, _gelu_vjp, sample=lambda rng: ([_sn(rng, 3, 5)], {}),
+            elementwise=True, forward_out=_gelu_out)
 
 
 def _clip_fw(ctx, a, min_value=None, max_value=None):
@@ -454,7 +551,12 @@ def _clip_sample(rng):
     return [signs * magnitude], {"min_value": -0.5, "max_value": 0.5}
 
 
-register_op("clip", _clip_fw, _clip_vjp, sample=_clip_sample)
+def _clip_out(out, a, min_value=None, max_value=None):
+    np.clip(a, min_value, max_value, out=out)
+
+
+register_op("clip", _clip_fw, _clip_vjp, sample=_clip_sample,
+            elementwise=True, forward_out=_clip_out)
 
 
 # ---------------------------------------------------------------------------

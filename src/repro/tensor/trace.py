@@ -1,0 +1,199 @@
+"""Record a no-grad forward pass as a flat sequence of op-graph steps.
+
+This is the *front half* of the trace-and-replay inference compiler (the
+back half — fusion, arena allocation, replay — lives in
+:mod:`repro.tensor.plan`).  The design follows the staging approach of Myia
+and drjit's ``JitFlag.LoopRecord``: because every primitive in this codebase
+is a declarative :class:`~repro.tensor.ops.OpDef` dispatched through one
+funnel (:func:`repro.tensor.engine.apply_op`), a tracer installed on that
+funnel sees a *closed* op set and the recorded program is complete by
+construction — there is no other way for array math to happen.
+
+Tracing model
+-------------
+:func:`record_trace` wraps each example input array in a fresh
+:class:`~repro.tensor.Tensor`, installs an :class:`OpTracer` on the current
+thread's engine state, and runs the callable once under ``no_grad``.  Every
+``apply_op`` dispatch appends one :class:`TraceStep`:
+
+* **slots** — each input and each op output gets an integer slot; step
+  operands that refer to previously-seen tensors are recorded as slot
+  references (``ref >= 0``).
+* **constants** — operands *not* produced by a traced op (parameters,
+  buffers, Python scalars wrapped on the fly) are captured **by reference**
+  to their backing array (``ref < 0`` indexes the constant table).  No
+  constant folding happens, so in-place parameter updates between replays
+  stay visible.
+* **kwargs** — non-array configuration is shallow-copied into the step.
+
+What a trace cannot see — Python control flow, NumPy math done outside
+``apply_op``, array-valued kwargs derived from the inputs (e.g. embedding
+lookups that route token ids through a ``getitem`` index) — is *baked in* at
+trace time.  The compiler guards against all of these with a validation
+replay on fresh inputs (see :func:`repro.tensor.plan.compile_forward`);
+models that fail validation simply keep using normal dispatch.
+
+Tensor identity is tracked via ``id()``; the tracer keeps every tensor it has
+seen alive in a keepalive list so CPython cannot recycle an id mid-trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import engine
+from .engine import no_grad
+from .ops import get_op
+
+__all__ = ["TraceError", "TraceStep", "Trace", "OpTracer", "record_trace"]
+
+
+class TraceError(RuntimeError):
+    """The forward pass could not be captured as a replayable trace."""
+
+
+class TraceStep:
+    """One recorded ``apply_op`` dispatch.
+
+    ``refs`` holds one reference per op input: ``ref >= 0`` names a value
+    slot (a trace input or an earlier step's output), ``ref < 0`` names entry
+    ``-ref - 1`` of the trace's constant table.
+    """
+
+    __slots__ = ("name", "refs", "kwargs", "out_slot", "out_shape", "out_dtype")
+
+    def __init__(self, name: str, refs: tuple, kwargs: dict, out_slot: int,
+                 out_shape: tuple, out_dtype):
+        self.name = name
+        self.refs = refs
+        self.kwargs = kwargs
+        self.out_slot = out_slot
+        self.out_shape = out_shape
+        self.out_dtype = out_dtype
+
+    def __repr__(self) -> str:
+        return (f"TraceStep({self.name!r}, refs={self.refs}, "
+                f"out_slot={self.out_slot}, shape={self.out_shape})")
+
+
+class Trace:
+    """A completed recording: steps, constant table, and the output slot."""
+
+    __slots__ = ("n_inputs", "input_shapes", "input_dtypes", "steps",
+                 "constants", "output_slot", "example_output")
+
+    def __init__(self, n_inputs: int, input_shapes: tuple, input_dtypes: tuple,
+                 steps: list, constants: list, output_slot: int,
+                 example_output: np.ndarray | None = None):
+        self.n_inputs = n_inputs
+        self.input_shapes = input_shapes
+        self.input_dtypes = input_dtypes
+        self.steps = steps
+        self.constants = constants
+        self.output_slot = output_slot
+        # Forward result for the example inputs the trace was recorded on —
+        # lets a caller serving a live request reuse the trace run's answer.
+        self.example_output = example_output
+
+    @property
+    def n_slots(self) -> int:
+        return self.n_inputs + len(self.steps)
+
+    def __repr__(self) -> str:
+        return (f"Trace(inputs={self.n_inputs}, steps={len(self.steps)}, "
+                f"constants={len(self.constants)})")
+
+
+class OpTracer:
+    """Observes ``apply_op`` dispatches and accumulates :class:`TraceStep`\\ s.
+
+    Installed on ``engine._state.tracer`` (thread-local) by
+    :func:`record_trace`; :func:`~repro.tensor.engine.apply_op` calls
+    :meth:`record` after each forward.
+    """
+
+    def __init__(self):
+        self.steps: list[TraceStep] = []
+        self.constants: list[np.ndarray] = []
+        self.n_inputs = 0
+        self._slot_of: dict[int, int] = {}    # id(tensor) -> slot
+        self._const_of: dict[int, int] = {}   # id(array)  -> constant index
+        self._keepalive: list = []            # pins ids for the trace lifetime
+
+    def add_input(self, array: np.ndarray):
+        """Register a plan input; returns the Tensor to feed the forward."""
+        tensor_cls = engine._TENSOR_CLS
+        tensor = tensor_cls(array)
+        if tensor.data is not array:
+            raise TraceError(
+                f"trace inputs must be float ndarrays used as-is; got dtype "
+                f"{array.dtype} which Tensor() would copy/cast")
+        slot = self.n_inputs
+        self.n_inputs += 1
+        self._slot_of[id(tensor)] = slot
+        self._keepalive.append(tensor)
+        return tensor
+
+    def _ref(self, tensor) -> int:
+        slot = self._slot_of.get(id(tensor))
+        if slot is not None:
+            return slot
+        # Not produced under the trace: a constant (parameter, buffer, or an
+        # on-the-fly wrapped scalar).  Captured by array reference.
+        array = tensor.data
+        index = self._const_of.get(id(array))
+        if index is None:
+            index = len(self.constants)
+            self.constants.append(array)
+            self._const_of[id(array)] = index
+        self._keepalive.append(tensor)
+        return -index - 1
+
+    def record(self, name: str, tensors: tuple, kwargs: dict, out) -> None:
+        """Called by ``apply_op`` for every dispatch while tracing."""
+        refs = tuple(self._ref(t) for t in tensors)
+        slot = self.n_inputs + len(self.steps)
+        self._slot_of[id(out)] = slot
+        self._keepalive.append(out)
+        self.steps.append(TraceStep(name, refs, dict(kwargs), slot,
+                                    out.data.shape, out.data.dtype))
+
+    def finish(self, output) -> Trace:
+        """Seal the recording; ``output`` is the Tensor the forward returned."""
+        tensor_cls = engine._TENSOR_CLS
+        if not isinstance(output, tensor_cls):
+            raise TraceError(
+                f"traced callable must return a Tensor, got {type(output).__name__}")
+        output_slot = self._slot_of.get(id(output))
+        if output_slot is None:
+            raise TraceError(
+                "traced callable returned a tensor that no recorded op produced "
+                "(the output was computed outside apply_op)")
+        shapes = tuple(t.data.shape for t in self._keepalive[:self.n_inputs])
+        dtypes = tuple(t.data.dtype for t in self._keepalive[:self.n_inputs])
+        for step in self.steps:
+            get_op(step.name)  # every recorded op must still be registered
+        return Trace(self.n_inputs, shapes, dtypes, self.steps,
+                     self.constants, output_slot, output.data)
+
+
+def record_trace(function, *arrays) -> Trace:
+    """Run ``function(*tensors)`` once under ``no_grad`` and record it.
+
+    ``arrays`` are the example inputs (NumPy arrays); the callable receives
+    one constant Tensor per array and must return a single Tensor.  Raises
+    :class:`TraceError` when the forward cannot be captured (non-Tensor
+    output, output not produced by a registered op, or a nested trace).
+    """
+    state = engine._state
+    if state.tracer is not None:
+        raise TraceError("a trace is already being recorded on this thread")
+    tracer = OpTracer()
+    inputs = [tracer.add_input(np.asarray(a)) for a in arrays]
+    state.tracer = tracer
+    try:
+        with no_grad():
+            output = function(*inputs)
+    finally:
+        state.tracer = None
+    return tracer.finish(output)

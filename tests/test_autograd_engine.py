@@ -263,7 +263,7 @@ class TestTimingHooks:
         from repro.tensor import engine
         with record_op_times():
             pass
-        assert engine._TIMING_HOOKS == []
+        assert engine._TIMING_HOOKS == ()
 
 
 class TestItemError:

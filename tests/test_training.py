@@ -67,7 +67,7 @@ class TestTrainer:
         assert table.calls["linear:backward"] >= 2
         assert table.grand_total > 0.0
         from repro.tensor import engine
-        assert engine._TIMING_HOOKS == []
+        assert engine._TIMING_HOOKS == ()
 
     def test_profile_ops_respects_divergence_guard(self):
         inputs, targets = _toy_classification()
