@@ -70,6 +70,9 @@ def main() -> None:
         # -- the one-liner inference API ------------------------------------
         quad = repro.load(quad_path, engine="batched", max_wait_ms=1.0)
         linear = repro.load(linear_path)  # direct engine: inline forwards
+        # For compute-bound multi-core serving, shard fused batches across
+        # warm worker processes instead (CLI: --engine pool --workers 4):
+        #   quad = repro.load(quad_path, engine="pool", workers=4)
         print(f"loaded {quad.describe()['model']} (engine: "
               f"{quad.engine.name}); input shape {quad.input_shape}")
         batch = np.random.default_rng(1).standard_normal(

@@ -33,9 +33,10 @@ from .experiments.runner import default_cache_dir, run_many
 from .io.serialization import atomic_write_json
 
 __all__ = ["time_callable", "fused_kernel_benchmarks", "inference_benchmarks",
-           "serving_benchmarks", "trace_benchmarks", "benchmark_experiments",
-           "build_summary", "check_fused_speedups", "check_inference_speedup",
-           "check_serving_speedup", "check_trace_speedup", "write_summary"]
+           "serving_benchmarks", "pool_benchmarks", "trace_benchmarks",
+           "benchmark_experiments", "build_summary", "check_fused_speedups",
+           "check_inference_speedup", "check_serving_speedup",
+           "check_pool_speedup", "check_trace_speedup", "write_summary"]
 
 #: Fused micro-benchmark result keys, kept identical to the historical
 #: pytest-benchmark test names so BENCH_autograd.json stays a trajectory.
@@ -243,6 +244,111 @@ def serving_benchmarks(rounds: int = 3, warmup: int = 1, clients: int = 8,
     return result
 
 
+def pool_benchmarks(rounds: int = 2, warmup: int = 1, clients: int = 4,
+                    requests_per_client: int = 6, rows_per_request: int = 16,
+                    worker_counts: tuple[int, ...] = (1, 2, 4)) -> dict:
+    """Worker-count scaling curve of the process-pool serving engine.
+
+    The workload is deliberately *compute-bound* — multi-row requests, so
+    each fused forward carries real convolution work — because that is the
+    regime the pool exists for: :func:`serving_benchmarks` already shows the
+    batched engine winning the scheduling game at single-row requests, and
+    this micro shows what no single-process engine can do — put more than
+    one core behind the forwards.  ``clients`` threads each fire
+    ``requests_per_client`` requests of ``rows_per_request`` rows at a
+    single-process :class:`~repro.serve.BatchedEngine` baseline and at a
+    :class:`~repro.serve.ProcessPoolEngine` for each worker count; rows/sec
+    per configuration lands under ``serving.pool`` in
+    ``BENCH_autograd.json`` as the scaling curve.
+
+    ``speedup`` compares the *largest* pool against the batched baseline —
+    that ratio is CI-gated (``--min-pool-speedup``) on multi-core runners.
+    On a single-core box the pool cannot win (same arithmetic plus IPC), and
+    the recorded curve will honestly say so.
+    """
+    import tempfile
+    import threading
+    from pathlib import Path
+
+    from .io.bundle import save_bundle
+    from .models import SimpleCNN
+    from .serve import BatchedEngine, InferenceSession, ProcessPoolEngine
+
+    model = SimpleCNN(num_classes=10, neuron_type="proposed", rank=3,
+                      base_width=8, image_size=16, seed=0)
+    request = np.random.default_rng(1).standard_normal(
+        (rows_per_request, 3, 16, 16)).astype(np.float32)
+    total_requests = clients * requests_per_client
+    total_rows = total_requests * rows_per_request
+
+    def storm(engine):
+        barrier = threading.Barrier(clients)
+        errors: list[Exception] = []
+
+        def client():
+            try:
+                barrier.wait()
+                futures = [engine.submit(request)
+                           for _ in range(requests_per_client)]
+                for future in futures:
+                    future.result(timeout=300)
+            except Exception as error:  # noqa: BLE001 — re-raised below
+                errors.append(error)
+
+        threads = [threading.Thread(target=client) for _ in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
+    def measure(engine) -> dict:
+        try:
+            timing = time_callable(lambda: storm(engine),
+                                   rounds=rounds, warmup=warmup)
+        finally:
+            engine.close()
+        timing["rows_per_second"] = total_rows / timing["mean_seconds"]
+        timing["rows_per_second_best"] = total_rows / timing["min_seconds"]
+        return timing
+
+    # compile=False everywhere, matching serving_benchmarks: this micro
+    # isolates scheduling + parallel execution, not plan compilation.
+    engine_kwargs = {"max_batch": rows_per_request * 2, "max_wait_ms": 2.0,
+                     "queue_size": total_requests + clients}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-pool-") as tmp:
+        bundle_path = save_bundle(Path(tmp) / "bench_pool.npz", model,
+                                  info={"input_shape": [3, 16, 16]})
+
+        def session():
+            return InferenceSession(bundle_path, max_batch=rows_per_request * 2,
+                                    compile=False)
+
+        batched = measure(BatchedEngine(session(), **engine_kwargs))
+        pools: dict[str, dict] = {}
+        for workers in worker_counts:
+            engine = ProcessPoolEngine(session(), workers=workers,
+                                       **engine_kwargs)
+            engine.warm((3, 16, 16))
+            pools[str(workers)] = measure(engine)
+
+    result = {
+        "model": "simple_cnn/proposed",
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "rows_per_request": rows_per_request,
+        "worker_counts": list(worker_counts),
+        "batched": batched,
+        "workers": pools,
+    }
+    top = pools[str(max(worker_counts))]
+    if batched["mean_seconds"] > 0 and batched["min_seconds"] > 0:
+        result["speedup"] = batched["mean_seconds"] / top["mean_seconds"]
+        result["speedup_best"] = batched["min_seconds"] / top["min_seconds"]
+    return result
+
+
 def trace_benchmarks(rounds: int = 100, warmup: int = 10,
                      batch_sizes: tuple[int, ...] = (1, 8)) -> dict:
     """Traced-replay vs dispatched no-grad forward through a warm session.
@@ -337,13 +443,17 @@ def benchmark_experiments(names: list[str], scale: str = "smoke",
 
 def build_summary(figure_repros: dict, fused_ops: dict, fused_speedups: dict,
                   scale: str, started: float, inference: dict | None = None,
-                  serving: dict | None = None, trace: dict | None = None) -> dict:
+                  serving: dict | None = None, trace: dict | None = None,
+                  pool: dict | None = None) -> dict:
+    serving_section = dict(serving or {})
+    if pool:  # the pool scaling curve rides inside the serving section
+        serving_section["pool"] = pool
     return {
         "figure_repros": figure_repros,
         "fused_ops": fused_ops,
         "fused_speedups": fused_speedups,
         "inference": inference or {},
-        "serving": serving or {},
+        "serving": serving_section,
         "trace": trace or {},
         "scale": scale,
         "targets": sorted(figure_repros),
@@ -407,6 +517,29 @@ def check_serving_speedup(summary: dict, minimum: float) -> list[str]:
         return [f"batched-engine serving speedup = {ratio:.3f}x "
                 f"(best-of-rounds {best:.3f}x) is below the {minimum:.2f}x "
                 f"floor at {serving.get('clients')} concurrent clients"]
+    return []
+
+
+def check_pool_speedup(summary: dict, minimum: float) -> list[str]:
+    """Regression messages when the largest pool's throughput falls below
+    ``minimum``× the single-process batched engine on the multi-row micro.
+
+    This gate only makes sense on a multi-core machine (CI runners): with
+    one core the pool pays IPC for the same arithmetic and cannot win.  Like
+    the other gates, passes when *either* the mean-based or the
+    best-of-rounds ratio clears the floor.
+    """
+    pool = summary.get("serving", {}).get("pool", {})
+    ratio = pool.get("speedup")
+    if ratio is None:
+        return ["pool benchmark missing from the summary"]
+    best = pool.get("speedup_best", ratio)
+    if max(ratio, best) < minimum:
+        workers = max(pool.get("worker_counts", [0]))
+        return [f"pool({workers}) serving speedup = {ratio:.3f}x "
+                f"(best-of-rounds {best:.3f}x) over the batched engine is "
+                f"below the {minimum:.2f}x floor at "
+                f"{pool.get('rows_per_request')} rows/request"]
     return []
 
 

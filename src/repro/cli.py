@@ -136,6 +136,17 @@ def build_parser() -> argparse.ArgumentParser:
                                    "than RATIO times the direct engine's "
                                    "requests/sec under concurrent load "
                                    "(CI perf gate)")
+    bench_parser.add_argument("--skip-pool", action="store_true",
+                              help="skip the process-pool worker-scaling "
+                                   "micro-benchmark (spawns up to 4 worker "
+                                   "processes)")
+    bench_parser.add_argument("--min-pool-speedup", type=float, default=None,
+                              metavar="RATIO",
+                              help="fail when the largest process pool "
+                                   "sustains less than RATIO times the "
+                                   "single-process batched engine's rows/sec "
+                                   "on the multi-row micro (CI perf gate; "
+                                   "needs a multi-core machine)")
     bench_parser.add_argument("--skip-trace", action="store_true",
                               help="skip the traced-replay-vs-dispatch "
                                    "micro-benchmark")
@@ -190,11 +201,24 @@ def build_parser() -> argparse.ArgumentParser:
                               help="bind address (default: 127.0.0.1)")
     serve_parser.add_argument("--port", type=int, default=8000,
                               help="bind port, 0 for ephemeral (default: 8000)")
-    serve_parser.add_argument("--engine", choices=["batched", "direct"],
+    serve_parser.add_argument("--engine", choices=["batched", "direct", "pool"],
                               default="batched",
                               help="serving engine: 'batched' fuses concurrent "
                                    "requests into one forward, 'direct' runs "
-                                   "each request inline (default: batched)")
+                                   "each request inline, 'pool' shards fused "
+                                   "batches across --workers warm processes "
+                                   "(default: batched)")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="pool engine: worker processes per "
+                                   "pool-served model (default: 2)")
+    serve_parser.add_argument("--model-engine", action="append", default=[],
+                              metavar="NAME=ENGINE", dest="model_engines",
+                              help="override the engine for one mounted model "
+                                   "(repeatable), e.g. --model-engine hot=pool")
+    serve_parser.add_argument("--model-workers", action="append", default=[],
+                              metavar="NAME=N", dest="model_workers",
+                              help="override the pool worker count for one "
+                                   "mounted model (repeatable)")
     serve_parser.add_argument("--max-batch", type=int, default=64,
                               help="rows per fused forward (default: 64)")
     serve_parser.add_argument("--max-wait-ms", type=float, default=2.0,
@@ -324,6 +348,10 @@ def _command_bench(args) -> int:
         print("error: --skip-serving would make --min-serving-speedup a "
               "vacuous pass; drop one of the two", file=sys.stderr)
         return 2
+    if args.skip_pool and args.min_pool_speedup is not None:
+        print("error: --skip-pool would make --min-pool-speedup a vacuous "
+              "pass; drop one of the two", file=sys.stderr)
+        return 2
     if args.skip_trace and args.min_trace_speedup is not None:
         print("error: --skip-trace would make --min-trace-speedup a vacuous "
               "pass; drop one of the two", file=sys.stderr)
@@ -350,13 +378,15 @@ def _command_bench(args) -> int:
         bench_module.inference_benchmarks(rounds=max(3, args.rounds // 6))
     serving = {} if args.skip_serving else \
         bench_module.serving_benchmarks(rounds=max(3, args.rounds // 10))
+    pool = {} if args.skip_pool else \
+        bench_module.pool_benchmarks(rounds=max(2, args.rounds // 15))
     trace = {} if args.skip_trace else \
         bench_module.trace_benchmarks(rounds=max(10, args.rounds * 3))
 
     summary = bench_module.build_summary(figure_repros, fused_ops, fused_speedups,
                                          scale=scale.name, started=started,
                                          inference=inference, serving=serving,
-                                         trace=trace)
+                                         trace=trace, pool=pool)
     rows = [{"experiment": name, "scale": scale.name,
              "seconds": stats["mean_seconds"]}
             for name, stats in figure_repros.items()]
@@ -381,6 +411,15 @@ def _command_bench(args) -> int:
               f"{serving['batched_rps']:>10.1f} r/s")
         print(f"  {'serving batched-engine speedup':<45s} "
               f"{serving['speedup']:>11.2f}x")
+    if pool:
+        base = pool["batched"]["rows_per_second"]
+        print(f"  {'pool baseline: batched engine':<45s} {base:>10.1f} rows/s")
+        for workers in pool["worker_counts"]:
+            rps = pool["workers"][str(workers)]["rows_per_second"]
+            label = f"pool({workers}) rows/sec"
+            print(f"  {label:<45s} {rps:>10.1f} rows/s")
+        print(f"  {'pool(' + str(max(pool['worker_counts'])) + ') vs batched':<45s} "
+              f"{pool['speedup']:>11.2f}x")
     if trace:
         for batch, entry in sorted(trace["batches"].items(),
                                    key=lambda kv: int(kv[0])):
@@ -416,6 +455,15 @@ def _command_bench(args) -> int:
             return 1
         print(f"batched serving engine >= {args.min_serving_speedup:.2f}x "
               f"the direct engine under concurrent load")
+    if args.min_pool_speedup is not None:
+        violations = bench_module.check_pool_speedup(
+            summary, args.min_pool_speedup)
+        if violations:
+            for violation in violations:
+                print(f"PERF REGRESSION: {violation}", file=sys.stderr)
+            return 1
+        print(f"process-pool engine >= {args.min_pool_speedup:.2f}x "
+              f"the single-process batched engine on multi-row requests")
     if args.min_trace_speedup is not None:
         violations = bench_module.check_trace_speedup(
             summary, args.min_trace_speedup)
@@ -462,15 +510,16 @@ def _command_predict(args) -> int:
     return 0
 
 
-def _parse_model_specs(specs: list[str]) -> dict[str, str]:
-    """``NAME=BUNDLE`` pairs → ordered mapping, with helpful errors."""
+def _parse_model_specs(specs: list[str], flag: str = "--model",
+                       value_name: str = "BUNDLE") -> dict[str, str]:
+    """``NAME=VALUE`` pairs → ordered mapping, with helpful errors."""
     models: dict[str, str] = {}
     for spec in specs:
         name, separator, path = spec.partition("=")
         if not separator or not name or not path:
-            raise ValueError(f"--model expects NAME=BUNDLE, got {spec!r}")
+            raise ValueError(f"{flag} expects NAME={value_name}, got {spec!r}")
         if name in models:
-            raise ValueError(f"--model name {name!r} given twice")
+            raise ValueError(f"{flag} name {name!r} given twice")
         models[name] = path
     return models
 
@@ -478,14 +527,39 @@ def _parse_model_specs(specs: list[str]) -> dict[str, str]:
 def _command_serve(args) -> int:
     from .serve.http import serve
 
-    models = _parse_model_specs(args.models)
+    models: dict[str, object] = _parse_model_specs(args.models)
     if args.bundle is None and not models:
         print("error: name a bundle to serve, or mount one with "
               "--model NAME=BUNDLE", file=sys.stderr)
         return 2
-    serve(args.bundle, host=args.host, port=args.port,
+    # Per-model engine/worker overrides turn the plain path specs into dict
+    # specs ({"path": ..., "engine": ..., "workers": ...}); an override
+    # naming 'default' applies to the positional bundle.
+    engine_overrides = _parse_model_specs(args.model_engines, "--model-engine",
+                                          "ENGINE")
+    worker_overrides = {name: int(count) for name, count in
+                        _parse_model_specs(args.model_workers, "--model-workers",
+                                           "N").items()}
+    bundle = args.bundle
+    default_model = args.default_model
+    for name in {*engine_overrides, *worker_overrides}:
+        if name == "default" and bundle is not None and name not in models:
+            models[name], bundle = {"path": bundle}, None
+            if default_model is None:  # keep the positional bundle default
+                default_model = "default"
+        if name not in models:
+            raise ValueError(f"engine/worker override names unmounted model "
+                             f"{name!r}; mount it with --model first")
+        if not isinstance(models[name], dict):
+            models[name] = {"path": models[name]}
+        if name in engine_overrides:
+            models[name]["engine"] = engine_overrides[name]
+        if name in worker_overrides:
+            models[name]["workers"] = worker_overrides[name]
+    serve(bundle, host=args.host, port=args.port,
           max_batch=args.max_batch, quiet=args.quiet, models=models,
           engine=args.engine, max_wait_ms=args.max_wait_ms,
           queue_size=args.queue_size, request_timeout=args.request_timeout,
-          default_model=args.default_model, compile=not args.no_compile)
+          default_model=default_model, compile=not args.no_compile,
+          workers=args.workers)
     return 0

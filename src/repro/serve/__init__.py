@@ -10,7 +10,9 @@ pluggable engine boundary:
 * :class:`ServingEngine` — the scheduling protocol (``submit``/``stats``/
   ``close``): :class:`DirectEngine` runs forwards inline on the caller's
   thread; :class:`BatchedEngine` coalesces concurrent requests into fused
-  forwards through a background scheduler (cross-request dynamic batching).
+  forwards through a background scheduler (cross-request dynamic batching);
+  :class:`ProcessPoolEngine` shards those fused batches across N warm
+  worker processes to scale past the single-interpreter ceiling.
 * :class:`Pipeline` — raw inputs in (normalization, single-sample promotion),
   softmax/top-k records out.
 * :class:`Predictor` — the façade combining all three; ``repro.load(path)``
@@ -32,15 +34,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from .batching import BatchedEngine
+from .batching import BatchedEngine, QueuedEngine
 from .engine import DirectEngine, EngineClosed, EngineError, QueueFull, ServingEngine, make_engine
 from .http import make_server, serve
 from .pipeline import Pipeline, softmax, top_k
+from .pool import ProcessPoolEngine
 from .router import ModelRouter
 from .session import InferenceSession
 
 __all__ = ["InferenceSession", "Pipeline", "Predictor", "load",
-           "ServingEngine", "DirectEngine", "BatchedEngine", "make_engine",
+           "ServingEngine", "DirectEngine", "BatchedEngine", "QueuedEngine",
+           "ProcessPoolEngine", "make_engine",
            "EngineError", "EngineClosed", "QueueFull", "ModelRouter",
            "make_server", "serve", "softmax", "top_k"]
 
@@ -53,20 +57,23 @@ class Predictor:
     labels and the expected input shape from the bundle metadata.
 
     ``engine`` selects the scheduling layer every forward goes through:
-    ``"direct"`` (default — inline, lock-serialized, PR 4 behavior) or
+    ``"direct"`` (default — inline, lock-serialized, PR 4 behavior),
     ``"batched"`` (a background scheduler fuses concurrent requests into one
-    forward; tune with ``max_wait_ms``/``queue_size``).  A ready-made
-    :class:`ServingEngine` instance is accepted too — that is the hook a
-    multi-process or multi-backend engine plugs into; the predictor then
-    adopts the engine's own session (so ``describe``/``warm`` target the
-    session that actually serves) and ``max_batch`` is ignored.
+    forward; tune with ``max_wait_ms``/``queue_size``) or ``"pool"``
+    (the batched scheduler sharding fused batches across ``workers`` warm
+    worker processes — bundle-backed models only, since workers re-load the
+    bundle by path).  A ready-made :class:`ServingEngine` instance is
+    accepted too — that is the hook a multi-process or multi-backend engine
+    plugs into; the predictor then adopts the engine's own session (so
+    ``describe``/``warm`` target the session that actually serves) and
+    ``max_batch`` is ignored.
     """
 
     def __init__(self, model, normalization: dict | None = None,
                  classes: list[str] | None = None, input_shape: tuple | None = None,
                  max_batch: int = 64, warm: bool = False, engine="direct",
                  max_wait_ms: float | None = None, queue_size: int | None = None,
-                 compile: bool = True):
+                 compile: bool = True, workers: int | None = None):
         if isinstance(engine, ServingEngine) and \
                 getattr(engine, "session", None) is not None:
             self.session = engine.session
@@ -75,20 +82,25 @@ class Predictor:
             self.session = InferenceSession(model, max_batch=max_batch,
                                             compile=compile)
         self.engine = make_engine(engine, self.session,
-                                  max_wait_ms=max_wait_ms, queue_size=queue_size)
+                                  max_wait_ms=max_wait_ms, queue_size=queue_size,
+                                  workers=workers)
         self.pipeline = Pipeline(self.session, normalization=normalization,
                                  classes=classes, input_shape=input_shape,
                                  engine=self.engine)
         if warm:
-            self.session.warm(self.pipeline.input_shape)
+            # Through the engine, not the session: the pool engine warms
+            # every worker's plan cache, not the parent's idle session.
+            self.engine.warm(self.pipeline.input_shape)
 
     @classmethod
     def from_bundle(cls, bundle_or_path, max_batch: int = 64, warm: bool = False,
                     engine="direct", max_wait_ms: float | None = None,
-                    queue_size: int | None = None, compile: bool = True) -> "Predictor":
+                    queue_size: int | None = None, compile: bool = True,
+                    workers: int | None = None) -> "Predictor":
         """Build a predictor from a loaded bundle or a bundle path."""
         return cls(bundle_or_path, max_batch=max_batch, warm=warm, engine=engine,
-                   max_wait_ms=max_wait_ms, queue_size=queue_size, compile=compile)
+                   max_wait_ms=max_wait_ms, queue_size=queue_size, compile=compile,
+                   workers=workers)
 
     # -- convenience properties -------------------------------------------------
 
@@ -142,9 +154,14 @@ class Predictor:
         return info
 
     def stats(self) -> dict:
-        """Engine scheduling stats + plan-cache stats (served on ``/v1/stats``)."""
+        """Engine scheduling stats + plan-cache stats (served on ``/v1/stats``).
+
+        ``setdefault`` because multi-process engines already report an
+        aggregated ``plan_cache`` across their workers — the parent
+        session's (empty) cache must not mask it.
+        """
         stats = self.engine.stats()
-        stats["plan_cache"] = self.session.plan_stats()
+        stats.setdefault("plan_cache", self.session.plan_stats())
         return stats
 
     def close(self) -> None:
@@ -160,7 +177,7 @@ class Predictor:
 
 def load(path, max_batch: int = 64, warm: bool = True, engine="direct",
          max_wait_ms: float | None = None, queue_size: int | None = None,
-         compile: bool = True) -> Predictor:
+         compile: bool = True, workers: int | None = None) -> Predictor:
     """Load a bundle from ``path`` into a ready-to-serve :class:`Predictor`.
 
     Re-exported as :func:`repro.load`; warming is on by default so the first
@@ -169,8 +186,10 @@ def load(path, max_batch: int = 64, warm: bool = True, engine="direct",
     the execution plan for the steady-state batch shape, so real traffic
     replays from the first request.  ``engine="batched"`` opts the predictor
     into cross-request dynamic batching (what ``repro serve`` uses by
-    default); ``compile=False`` forces classic per-op dispatch.
+    default); ``engine="pool"`` shards fused batches across ``workers``
+    warm worker processes; ``compile=False`` forces classic per-op dispatch.
     """
     return Predictor.from_bundle(path, max_batch=max_batch, warm=warm,
                                  engine=engine, max_wait_ms=max_wait_ms,
-                                 queue_size=queue_size, compile=compile)
+                                 queue_size=queue_size, compile=compile,
+                                 workers=workers)

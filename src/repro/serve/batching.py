@@ -19,6 +19,12 @@ This engine recovers the batch efficiency *across* requests:
   :class:`~repro.serve.InferenceSession`, and the output is demuxed back
   onto the per-request futures by row offset.
 
+The queue/coalesce machinery lives in :class:`QueuedEngine` so other
+engines can reuse the *same batching policy* with a different execution
+backend — :class:`~repro.serve.pool.ProcessPoolEngine` plugs a worker-process
+pool behind the identical scheduler, which is how dynamic batching and
+multiprocessing compose instead of competing.
+
 Numerical note: a fused batch is chunked by the session at ``max_batch``
 rows, so when every request carries exactly ``max_batch`` rows the fused
 execution is *byte-identical* to per-request forwards (chunk boundaries
@@ -43,7 +49,7 @@ import numpy as np
 
 from .engine import EngineClosed, QueueFull, ServingEngine
 
-__all__ = ["BatchedEngine"]
+__all__ = ["BatchedEngine", "QueuedEngine"]
 
 #: Queue sentinel telling the scheduler thread to exit.
 _SHUTDOWN = object()
@@ -60,32 +66,59 @@ class _Request:
         self.future: Future = Future()
 
 
-class BatchedEngine(ServingEngine):
-    """Queue–coalesce–demux scheduling over one shared inference session.
+def _request_groups(requests: list[_Request]):
+    """Group requests by per-sample geometry: one fused forward per group.
 
-    Parameters
-    ----------
-    session:
-        The :class:`~repro.serve.InferenceSession` that runs the fused
-        forwards.  Only the scheduler thread calls into it, so the session's
-        own lock is uncontended in steady state.
-    max_batch:
-        Row budget per fused forward (default: the session's ``max_batch``).
-        A single oversized request still runs — the session chunks it.
-    max_wait_ms:
-        How long an *open* batch waits for more rows before running.  This
-        is latency spent only when the queue goes empty mid-batch; a deep
-        queue fills batches without waiting.
-    queue_size:
-        Bound on queued requests; beyond it ``submit`` raises
-        :class:`QueueFull` so overload surfaces as backpressure.
-    autostart:
-        Start the scheduler thread immediately (default).  Tests and
-        embedders that want to control draining can pass ``False`` and call
-        :meth:`start` themselves.
+    A single-model queue normally holds exactly one ``(per-sample shape,
+    dtype)`` group; heterogeneous submissions (shape-agnostic test models)
+    split into one forward each.
+    """
+    groups: dict[tuple, list[_Request]] = {}
+    for request in requests:
+        key = (request.inputs.shape[1:], request.inputs.dtype.str)
+        groups.setdefault(key, []).append(request)
+    return groups.values()
+
+
+def _fuse(group: list[_Request]) -> np.ndarray:
+    """Concatenate a geometry group's rows into one forward-ready array."""
+    if len(group) == 1:
+        return group[0].inputs
+    return np.concatenate([request.inputs for request in group], axis=0)
+
+
+def _demux(group: list[_Request], outputs: np.ndarray) -> None:
+    """Slice fused outputs back onto the per-request futures by row offset."""
+    offset = 0
+    for request in group:
+        request.future.set_result(outputs[offset:offset + request.rows])
+        offset += request.rows
+
+
+class QueuedEngine(ServingEngine):
+    """Bounded queue + scheduler thread + coalescing policy, backend-agnostic.
+
+    This base owns everything about *collecting* work: the bounded request
+    queue with :class:`QueueFull` backpressure, the scheduler thread, the
+    ``max_batch``-rows-or-``max_wait_ms`` coalescing window, shutdown
+    draining, and the common stats schema (``requests``/``samples``/
+    ``batches``/``mean_batch_rows``/``queue_depth`` — every queued engine
+    reports these under the same key names, which ARCHITECTURE.md documents
+    and the tests pin).  Subclasses own *executing* a coalesced batch by
+    implementing :meth:`_handle_batch`:
+
+    * :class:`BatchedEngine` runs it inline on the scheduler thread — one
+      fused forward through the shared session.
+    * :class:`~repro.serve.pool.ProcessPoolEngine` hands it to the next idle
+      worker process and immediately goes back to coalescing the next batch,
+      so batches run concurrently across workers.
+
+    Subclasses may also hook :meth:`_shutdown_backend` (called by ``close``
+    after the scheduler has stopped and the queue has drained) to release
+    backend resources such as worker processes.
     """
 
-    name = "batched"
+    name = "queued"
 
     def __init__(self, session, max_batch: int | None = None,
                  max_wait_ms: float = 2.0, queue_size: int = 256,
@@ -108,7 +141,8 @@ class BatchedEngine(ServingEngine):
         self.samples = 0
         self.batches = 0
         self._thread = threading.Thread(target=self._scheduler_loop,
-                                        name="repro-serve-batcher", daemon=True)
+                                        name=f"repro-serve-{self.name}",
+                                        daemon=True)
         self._started = False
         if autostart:
             self.start()
@@ -132,7 +166,8 @@ class BatchedEngine(ServingEngine):
         completed, failed with its forward's error, or failed with
         :class:`EngineClosed` — except in the pathological case of a single
         in-flight forward outlasting ``timeout``, whose batch resolves when
-        that forward finishes.
+        that forward finishes.  Backends with extra resources (worker
+        processes) release them in :meth:`_shutdown_backend`.
         """
         with self._close_lock:
             already_closed = self._closed
@@ -145,6 +180,10 @@ class BatchedEngine(ServingEngine):
         if self._started:
             self._thread.join(timeout)
         self._fail_pending()
+        self._shutdown_backend(timeout)
+
+    def _shutdown_backend(self, timeout: float | None) -> None:
+        """Release backend resources after the scheduler stopped (hook)."""
 
     # -- submission ------------------------------------------------------------
 
@@ -155,7 +194,7 @@ class BatchedEngine(ServingEngine):
                 f"submit expects a batched array (leading batch dimension), "
                 f"got shape {tuple(inputs.shape)}")
         if self._closed:
-            raise EngineClosed("batched engine is closed")
+            raise EngineClosed(f"{self.name} engine is closed")
         request = _Request(inputs)
         try:
             self._queue.put_nowait(request)
@@ -182,6 +221,10 @@ class BatchedEngine(ServingEngine):
             # a dead scheduler can never strand blocked clients silently.
             self._closed = True
             self._fail_pending()
+            self._scheduler_exited()
+
+    def _scheduler_exited(self) -> None:
+        """Called exactly once when the scheduler thread exits (hook)."""
 
     def _drain_loop(self) -> None:
         while True:
@@ -191,44 +234,47 @@ class BatchedEngine(ServingEngine):
             if self._closed:  # drain mode: queued requests fail, none run
                 self._fail_request(item)
                 break
-            batch = [item]
-            rows = item.rows
-            deadline = time.monotonic() + self.max_wait_ms / 1000.0
-            shutdown = False
-            while rows < self.max_batch:
-                remaining = deadline - time.monotonic()
-                try:
-                    item = (self._queue.get(timeout=remaining) if remaining > 0
-                            else self._queue.get_nowait())
-                except queue.Empty:
-                    break
-                if item is _SHUTDOWN or self._closed:
-                    self._fail_request(item)
-                    shutdown = True
-                    break
-                batch.append(item)
-                rows += item.rows
+            batch, shutdown = self._collect(item)
             try:
-                self._safe_run_batch(batch)
+                self._handle_batch(batch)
             except BaseException as error:  # popped requests aren't in the
                 self._fail_batch(batch, error)  # queue — fail before bailing
                 raise
             if shutdown:
                 break
 
-    def _safe_run_batch(self, batch: list[_Request]) -> None:
-        """Run a batch, guaranteeing every future in it resolves.
+    def _collect(self, first) -> tuple[list[_Request], bool]:
+        """The coalescing policy: pull until ``max_batch`` rows or the window
+        closes.
 
-        The scheduler thread must survive *anything* — an escape here would
-        kill it silently, hanging every queued client forever.  Whatever
-        leaks out of :meth:`_run_batch` is delivered to the batch's futures
-        instead (and the enclosing loop's exit path marks the engine closed
-        and drains the queue, so even a truly broken scheduler fails loudly).
+        Returns the assembled batch plus a shutdown flag (a ``close`` arrived
+        mid-collection).  Arrivals during the window ride along for free; an
+        idle queue never waits.
         """
-        try:
-            self._run_batch(batch)
-        except BaseException as error:  # noqa: BLE001 — delivered per future
-            self._fail_batch(batch, error)
+        batch = [first]
+        rows = first.rows
+        deadline = time.monotonic() + self.max_wait_ms / 1000.0
+        shutdown = False
+        while rows < self.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                item = (self._queue.get(timeout=remaining) if remaining > 0
+                        else self._queue.get_nowait())
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN or self._closed:
+                self._fail_request(item)
+                shutdown = True
+                break
+            batch.append(item)
+            rows += item.rows
+        return batch, shutdown
+
+    def _handle_batch(self, batch: list[_Request]) -> None:
+        """Execute one coalesced batch; every future in it must resolve."""
+        raise NotImplementedError
+
+    # -- failure delivery ------------------------------------------------------
 
     @staticmethod
     def _fail_batch(batch: list[_Request], error: BaseException) -> None:
@@ -244,33 +290,6 @@ class BatchedEngine(ServingEngine):
                     request.future.set_exception(error)
                 except InvalidStateError:  # cancelled/resolved concurrently
                     pass
-
-    def _run_batch(self, batch: list[_Request]) -> None:
-        live = [request for request in batch
-                if request.future.set_running_or_notify_cancel()]
-        if not live:
-            return
-        # Group by per-sample shape/dtype: one fused forward per geometry
-        # (a single-model queue normally holds exactly one group).
-        groups: dict[tuple, list[_Request]] = {}
-        for request in live:
-            key = (request.inputs.shape[1:], request.inputs.dtype.str)
-            groups.setdefault(key, []).append(request)
-        for group in groups.values():
-            try:
-                fused = group[0].inputs if len(group) == 1 else \
-                    np.concatenate([request.inputs for request in group], axis=0)
-                outputs = self.session.predict(fused)
-                offset = 0
-                for request in group:
-                    request.future.set_result(outputs[offset:offset + request.rows])
-                    offset += request.rows
-            except BaseException as error:  # noqa: BLE001 — delivered per future
-                self._fail_batch(group, error)
-                continue
-            with self._stats_lock:
-                self.batches += 1
-                self.samples += len(fused)
 
     @staticmethod
     def _fail_request(item) -> None:
@@ -295,6 +314,13 @@ class BatchedEngine(ServingEngine):
     # -- introspection ---------------------------------------------------------
 
     def stats(self) -> dict:
+        """The common queued-engine stats schema (see ARCHITECTURE.md).
+
+        Every queued engine reports ``requests``/``samples``/``batches``,
+        the derived ``mean_batch_rows``, live ``queue_depth`` against
+        ``queue_size``, and its coalescing knobs under these exact key names
+        so dashboards and the bench harness can compare engines directly.
+        """
         with self._stats_lock:
             requests, samples, batches = self.requests, self.samples, self.batches
         return {
@@ -309,3 +335,67 @@ class BatchedEngine(ServingEngine):
             "max_wait_ms": self.max_wait_ms,
             "closed": self._closed,
         }
+
+
+class BatchedEngine(QueuedEngine):
+    """Queue–coalesce–demux scheduling over one shared inference session.
+
+    Parameters
+    ----------
+    session:
+        The :class:`~repro.serve.InferenceSession` that runs the fused
+        forwards.  Only the scheduler thread calls into it, so the session's
+        own lock is uncontended in steady state.
+    max_batch:
+        Row budget per fused forward (default: the session's ``max_batch``).
+        A single oversized request still runs — the session chunks it.
+    max_wait_ms:
+        How long an *open* batch waits for more rows before running.  This
+        is latency spent only when the queue goes empty mid-batch; a deep
+        queue fills batches without waiting.
+    queue_size:
+        Bound on queued requests; beyond it ``submit`` raises
+        :class:`QueueFull` so overload surfaces as backpressure.
+    autostart:
+        Start the scheduler thread immediately (default).  Tests and
+        embedders that want to control draining can pass ``False`` and call
+        :meth:`start` themselves.
+    """
+
+    name = "batched"
+
+    def _handle_batch(self, batch: list[_Request]) -> None:
+        self._safe_run_batch(batch)
+
+    def _safe_run_batch(self, batch: list[_Request]) -> None:
+        """Run a batch, guaranteeing every future in it resolves.
+
+        The scheduler thread must survive *anything* — an escape here would
+        kill it silently, hanging every queued client forever.  Whatever
+        leaks out of :meth:`_run_batch` is delivered to the batch's futures
+        instead (and the enclosing loop's exit path marks the engine closed
+        and drains the queue, so even a truly broken scheduler fails loudly).
+        """
+        try:
+            self._run_batch(batch)
+        except BaseException as error:  # noqa: BLE001 — delivered per future
+            self._fail_batch(batch, error)
+
+    def _run_batch(self, batch: list[_Request]) -> None:
+        live = [request for request in batch
+                if request.future.set_running_or_notify_cancel()]
+        if not live:
+            return
+        # Group by per-sample shape/dtype: one fused forward per geometry
+        # (a single-model queue normally holds exactly one group).
+        for group in _request_groups(live):
+            try:
+                fused = _fuse(group)
+                outputs = self.session.predict(fused)
+                _demux(group, outputs)
+            except BaseException as error:  # noqa: BLE001 — delivered per future
+                self._fail_batch(group, error)
+                continue
+            with self._stats_lock:
+                self.batches += 1
+                self.samples += len(fused)

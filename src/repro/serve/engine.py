@@ -88,6 +88,17 @@ class ServingEngine:
 
     # -- shared conveniences ---------------------------------------------------
 
+    def warm(self, input_shape: tuple | None = None) -> None:
+        """Warm whatever executes forwards (buffer caches + plan cache).
+
+        The default delegates to the engine's in-process session; engines
+        whose forwards run elsewhere (the process pool) override this to
+        warm every backend worker instead.
+        """
+        session = getattr(self, "session", None)
+        if session is not None:
+            session.warm(input_shape)
+
     def predict(self, inputs: np.ndarray, timeout: float | None = None) -> np.ndarray:
         """Blocking submit: enqueue ``inputs`` and wait for the logits.
 
@@ -168,25 +179,36 @@ class DirectEngine(ServingEngine):
 
 def make_engine(engine, session, max_batch: int | None = None,
                 max_wait_ms: float | None = None,
-                queue_size: int | None = None) -> ServingEngine:
+                queue_size: int | None = None,
+                workers: int | None = None,
+                seed: int | None = None) -> ServingEngine:
     """Resolve an ``engine=`` knob into a live :class:`ServingEngine`.
 
     ``engine`` may be a ready-made :class:`ServingEngine` instance (returned
-    as-is), ``None``/``"direct"`` for :class:`DirectEngine`, or
-    ``"batched"`` for :class:`~repro.serve.batching.BatchedEngine` — the
-    tuning kwargs only apply to the batched engine and fall back to its
-    defaults when ``None``.
+    as-is), ``None``/``"direct"`` for :class:`DirectEngine`, ``"batched"``
+    for :class:`~repro.serve.batching.BatchedEngine`, or ``"pool"`` for
+    :class:`~repro.serve.pool.ProcessPoolEngine` (the session must come from
+    an on-disk bundle — workers re-load it by path).  The tuning kwargs only
+    apply to the queued engines and fall back to their defaults when
+    ``None``; ``workers``/``seed`` only apply to the pool.
     """
     if isinstance(engine, ServingEngine):
         return engine
     if engine is None or engine == "direct":
         return DirectEngine(session)
-    if engine == "batched":
-        from .batching import BatchedEngine
-
+    if engine in ("batched", "pool"):
         kwargs = {"max_batch": max_batch, "max_wait_ms": max_wait_ms,
                   "queue_size": queue_size}
-        return BatchedEngine(session, **{key: value for key, value in kwargs.items()
-                                         if value is not None})
+        if engine == "pool":
+            from .pool import ProcessPoolEngine
+
+            kwargs.update(workers=workers, seed=seed)
+            cls = ProcessPoolEngine
+        else:
+            from .batching import BatchedEngine
+
+            cls = BatchedEngine
+        return cls(session, **{key: value for key, value in kwargs.items()
+                               if value is not None})
     raise ValueError(f"unknown serving engine {engine!r}; expected 'direct', "
-                     f"'batched', or a ServingEngine instance")
+                     f"'batched', 'pool', or a ServingEngine instance")

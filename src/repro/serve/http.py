@@ -246,40 +246,63 @@ def serve(bundle_path=None, host: str = "127.0.0.1", port: int = 8000,
           engine: str = "batched", max_wait_ms: float = 2.0,
           queue_size: int = 256, request_timeout: float | None = 30.0,
           default_model: str | None = None, ready=None,
-          compile: bool = True) -> None:
+          compile: bool = True, workers: int = 2) -> None:
     """Load bundles and serve them until interrupted (the CLI entry point).
 
     ``bundle_path`` (legacy single-model form) is mounted as ``default``;
-    ``models`` maps additional names to bundle paths.  Each model gets its
-    own session and serving engine (``engine="batched"`` by default — direct
-    lock-and-forward with ``engine="direct"``).  ``compile=True`` (default)
-    turns on trace-and-replay compilation per session; loading warms each
-    model, which traces and compiles its steady-state plan before the first
-    request.  SIGINT/SIGTERM shut down gracefully: the queue drains, queued
-    futures fail with a clear error instead of hanging their clients, then
-    the process exits.  ``ready``, if given, is called with the bound server
-    before the serve loop starts (embedding/test hook).
+    ``models`` maps additional names to bundle paths — or to dict specs
+    (``{"path": ..., "engine": ..., "workers": ..., "max_batch": ...,
+    "max_wait_ms": ..., "queue_size": ...}``) overriding the shared knobs
+    per model, which is how one server mounts, say, a hot model on its own
+    4-worker pool next to a long-tail model on a direct engine.  Each model
+    gets its own session and serving engine (``engine="batched"`` by
+    default; ``"direct"`` for inline lock-and-forward; ``"pool"`` for the
+    multi-process pool with ``workers`` processes per model).
+    ``compile=True`` (default) turns on trace-and-replay compilation per
+    session; loading warms each model, which traces and compiles its
+    steady-state plan before the first request.  SIGINT/SIGTERM shut down
+    gracefully: the queue drains, queued futures fail with a clear error
+    instead of hanging their clients, then the process exits.  ``ready``,
+    if given, is called with the bound server before the serve loop starts
+    (embedding/test hook).
     """
     from . import load
 
     specs: dict[str, object] = {}
     if bundle_path is not None:
         specs["default"] = bundle_path
-    for name, path in (models or {}).items():
+    for name, spec in (models or {}).items():
         if name in specs:
             raise ValueError(
                 f"model name {name!r} collides with the positional bundle "
                 f"(mounted as 'default'); pick another --model name or drop "
                 f"the positional argument")
-        specs[name] = path
+        specs[name] = spec
     if not specs:
         raise ValueError("serve needs a bundle path or at least one "
                          "name=bundle model mapping")
+    shared = {"max_batch": max_batch, "engine": engine, "workers": workers,
+              "max_wait_ms": max_wait_ms, "queue_size": queue_size,
+              "compile": compile}
     router = ModelRouter()
-    for name, path in specs.items():
-        router.add(name, load(path, max_batch=max_batch, engine=engine,
-                              max_wait_ms=max_wait_ms, queue_size=queue_size,
-                              compile=compile))
+    engines = set()
+    for name, spec in specs.items():
+        options = dict(shared)
+        if isinstance(spec, dict):
+            path = spec.get("path")
+            if path is None:
+                raise ValueError(f"model spec for {name!r} needs a 'path' key")
+            unknown = set(spec) - {"path", *shared}
+            if unknown:
+                raise ValueError(f"model spec for {name!r} has unknown "
+                                 f"option(s) {sorted(unknown)}; valid: "
+                                 f"{sorted(shared)}")
+            options.update({key: value for key, value in spec.items()
+                            if key != "path"})
+        else:
+            path = spec
+        engines.add(options["engine"])
+        router.add(name, load(path, **options))
     if default_model is not None:
         router.set_default(default_model)
 
@@ -287,8 +310,9 @@ def serve(bundle_path=None, host: str = "127.0.0.1", port: int = 8000,
                          request_timeout=request_timeout)
     restore_signals = _install_signal_handlers(server)
     bound_host, bound_port = server.server_address[:2]
+    engine_label = "/".join(sorted(engines))
     print(f"serving {len(router)} model(s) [{', '.join(router.names())}; "
-          f"default: {router.default_name}] with the {engine} engine on "
+          f"default: {router.default_name}] with the {engine_label} engine on "
           f"http://{bound_host}:{bound_port}")
     if not quiet:
         print(f"endpoints: {_ENDPOINTS}")

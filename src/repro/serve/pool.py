@@ -1,0 +1,500 @@
+"""Multi-process serving: a warm worker pool behind the batching scheduler.
+
+:class:`~repro.serve.batching.BatchedEngine` coalesces concurrent requests
+into fused forwards, but every fused forward still runs on *one* GIL-bound
+interpreter — PR 5/6's wins (dynamic batching, compiled replay) cannot scale
+past a single core.  :class:`ProcessPoolEngine` breaks that ceiling the same
+way :mod:`repro.parallel` scales experiment sweeps: N warm worker processes,
+each holding its own loaded bundle and plan cache, with the parent sharding
+work across them.
+
+The composition is deliberate — **batching and multiprocessing compose
+instead of competing**:
+
+* The engine *is* a :class:`~repro.serve.batching.QueuedEngine`: the exact
+  bounded-queue / ``max_batch``-rows-or-``max_wait_ms`` coalescing policy of
+  the batched engine assembles batches in the parent.
+* Instead of running a batch inline, the scheduler hands it to the next idle
+  worker over a request/response :class:`~multiprocessing.Pipe` and
+  immediately goes back to coalescing — so up to ``workers`` fused batches
+  execute concurrently, one per process.
+
+Workers are spawned (never forked — same ``REPRO_MP_START`` policy as the
+sweep executor) running :func:`worker_main`, which:
+
+* bumps ``REPRO_PARALLEL_DEPTH`` so a model that fans out internally sees
+  ``effective_jobs() == 1`` and cannot recursively spawn pools;
+* seeds deterministically via :func:`~repro.parallel.seeding.derive_seed`
+  (root seed × worker id), so *which* worker serves a shard never changes
+  the bytes it returns — model weights come from the bundle and inference
+  draws no randomness, making pool output byte-identical to
+  :class:`~repro.serve.engine.DirectEngine` for aligned batches;
+* loads the bundle **by path** (bundles are self-describing ``.npz`` files,
+  so nothing unpicklable crosses the process boundary) into its own
+  :class:`~repro.serve.InferenceSession`, where the PR 6 trace-and-replay
+  plan cache warms per worker.
+
+Worker death follows the sweep executor's **isolate-and-retry** policy: a
+broken pipe marks that worker dead, the parent respawns it, the in-flight
+batch is retried exactly once on the fresh worker, and a second death fails
+those futures with :class:`~repro.serve.engine.EngineError` — clients are
+never stranded.  ``close()`` drains the queue, fails still-queued futures
+with :class:`~repro.serve.engine.EngineClosed`, then stops the workers
+(``stop`` command first, escalating to ``terminate``/``kill``).
+
+Cost model versus the single-process engines: each worker holds a full copy
+of the bundle (memory is N × bundle) and spawn adds ~1 s of startup per
+worker, in exchange for throughput that scales with cores.  See the
+"choosing an engine" table in ARCHITECTURE.md.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import traceback
+from multiprocessing import get_context
+
+import numpy as np
+
+from ..parallel.executor import START_METHOD_ENV, parallel_depth
+from ..parallel.seeding import derive_seed, seed_task_globals
+from ..parallel.worker import DEPTH_ENV
+from .batching import QueuedEngine, _demux, _fuse, _request_groups
+from .engine import EngineClosed, EngineError
+
+__all__ = ["ProcessPoolEngine", "worker_main"]
+
+#: Shard-queue sentinel telling a dispatcher thread to exit.
+_STOP = object()
+
+#: Counters a worker reports with every reply and the parent aggregates.
+_PLAN_COUNTER_KEYS = ("plans", "fallback_keys", "hits", "misses", "fallbacks",
+                      "replays", "fused_chains", "fused_ops", "arena_bytes")
+
+
+def worker_main(worker_id: int, bundle_path: str, conn, config: dict) -> None:
+    """Entry point of one pool worker process.
+
+    Loads the bundle at ``bundle_path`` into a private
+    :class:`~repro.serve.InferenceSession` and answers commands on ``conn``
+    until told to stop.  The wire protocol is deliberately tiny:
+
+    * receive ``("predict", array)`` → send ``("ok", outputs, stats)``
+      or ``("error", message, traceback)`` (the model raised; the worker
+      itself is fine and keeps serving);
+    * receive ``("warm", input_shape_or_None)`` → warm the plan cache,
+      send ``("ok", None, stats)``;
+    * receive ``("stop",)`` → exit cleanly.
+
+    The first message is always ``("ready", info)`` after a successful load
+    (or ``("fatal", message, traceback)`` when the bundle cannot be loaded,
+    so spawn/respawn failures surface in the parent instead of hanging it).
+    """
+    # Record the pool layer: effective_jobs() now clamps to 1, so a model
+    # that fans out internally cannot recursively spawn pools of pools.
+    os.environ[DEPTH_ENV] = str(config.get("depth", 1))
+    seed = derive_seed(config.get("seed", 0), "serve-pool", worker_id)
+    seed_task_globals(seed)
+    try:
+        from .session import InferenceSession
+
+        session = InferenceSession(bundle_path,
+                                   max_batch=config.get("max_batch", 64),
+                                   compile=config.get("compile", True))
+    except BaseException as error:  # noqa: BLE001 — reported, not raised
+        try:
+            conn.send(("fatal", f"{type(error).__name__}: {error}",
+                       traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+
+    from ..parallel.executor import effective_jobs
+
+    def worker_stats() -> dict:
+        return {
+            "pid": os.getpid(),
+            "batches": session.batches_served,
+            "samples": session.samples_served,
+            "plan_cache": session.plan_stats(),
+        }
+
+    conn.send(("ready", {
+        "pid": os.getpid(),
+        "seed": seed,
+        "depth": int(os.environ[DEPTH_ENV]),
+        "effective_jobs": effective_jobs(),
+    }))
+    try:
+        while True:
+            command = conn.recv()
+            if command[0] == "stop":
+                break
+            try:
+                if command[0] == "predict":
+                    outputs = session.predict(command[1])
+                elif command[0] == "warm":
+                    session.warm(command[1])
+                    outputs = None
+                else:
+                    raise ValueError(f"unknown pool command {command[0]!r}")
+            except BaseException as error:  # noqa: BLE001 — model error: the
+                conn.send(("error", f"{type(error).__name__}: {error}",
+                           traceback.format_exc()))  # worker itself survives
+            else:
+                conn.send(("ok", outputs, worker_stats()))
+    except (EOFError, KeyboardInterrupt):  # parent vanished / ^C: just exit
+        pass
+    finally:
+        conn.close()
+
+
+class _Worker:
+    """Parent-side handle for one worker process: pipe, liveness, counters."""
+
+    __slots__ = ("worker_id", "process", "conn", "info", "last_stats",
+                 "restarts", "lock")
+
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+        self.process = None
+        self.conn = None
+        self.info: dict = {}
+        self.last_stats: dict = {}
+        self.restarts = 0
+        # Serializes pipe access between the owning dispatcher thread and
+        # out-of-band callers (warm broadcasts, shutdown).
+        self.lock = threading.Lock()
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class ProcessPoolEngine(QueuedEngine):
+    """Shard coalesced batches across N warm worker processes.
+
+    Parameters
+    ----------
+    session:
+        Parent-side :class:`~repro.serve.InferenceSession` **loaded from a
+        bundle on disk** — workers re-load the same bundle by path, so an
+        in-memory model cannot be pool-served (there is no path to send).
+        The parent session itself never runs forwards; it only supplies the
+        bundle path, ``max_batch`` default, compile flag and pipeline
+        metadata.
+    workers:
+        Number of worker processes (the concurrency of the pool).
+    max_batch / max_wait_ms / queue_size:
+        The shared coalescing policy — identical meaning to
+        :class:`~repro.serve.batching.BatchedEngine`.
+    seed:
+        Root seed for deterministic worker identity: worker *i* is seeded
+        with ``derive_seed(seed, "serve-pool", i)``.
+    """
+
+    name = "pool"
+
+    def __init__(self, session, workers: int = 2, max_batch: int | None = None,
+                 max_wait_ms: float = 2.0, queue_size: int = 256,
+                 seed: int = 0, autostart: bool = True):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if parallel_depth() > 0:
+            raise EngineError(
+                "refusing to start a process-pool engine inside a parallel "
+                "worker (REPRO_PARALLEL_DEPTH is set); nested pools would "
+                "oversubscribe the machine — serve with engine='direct' or "
+                "'batched' here instead")
+        if getattr(session, "bundle", None) is None or session.bundle.path is None:
+            raise EngineError(
+                "the pool engine serves bundles loaded from disk (workers "
+                "re-load the model by path); construct the session from a "
+                "bundle file, or use engine='direct'/'batched' for "
+                "in-memory models")
+        self.workers = int(workers)
+        self.seed = int(seed)
+        self.bundle_path = str(session.bundle.path)
+        self.restarts = 0
+        self._context = get_context(os.environ.get(START_METHOD_ENV, "spawn"))
+        # Unbounded hand-off queue between the scheduler and the dispatcher
+        # threads; _slots_free bounds it to at most `workers` in-flight
+        # shards, so backpressure lands on the main bounded request queue.
+        self._shard_queue: queue.Queue = queue.Queue()
+        self._slots_free = threading.Semaphore(self.workers)
+        self._workers = [_Worker(worker_id) for worker_id in range(self.workers)]
+        self._dispatchers: list[threading.Thread] = []
+        # The scheduler thread must not start before the workers exist.
+        super().__init__(session, max_batch=max_batch, max_wait_ms=max_wait_ms,
+                         queue_size=queue_size, autostart=False)
+        try:
+            for worker in self._workers:
+                self._spawn(worker)
+        except BaseException:
+            self._closed = True
+            self._stop_workers()
+            raise
+        for worker in self._workers:
+            thread = threading.Thread(target=self._dispatch_loop, args=(worker,),
+                                      name=f"repro-pool-worker-{worker.worker_id}",
+                                      daemon=True)
+            self._dispatchers.append(thread)
+            thread.start()
+        if autostart:
+            self.start()
+
+    # -- worker lifecycle ------------------------------------------------------
+
+    def _spawn(self, worker: _Worker) -> None:
+        """Start (or restart) one worker process and wait for its ready ack."""
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=worker_main,
+            args=(worker.worker_id, self.bundle_path, child_conn, {
+                "max_batch": self.max_batch,
+                "compile": self.session.compile_enabled,
+                "seed": self.seed,
+                "depth": parallel_depth() + 1,
+            }),
+            name=f"repro-pool-{worker.worker_id}",
+            daemon=True)
+        process.start()
+        child_conn.close()  # the child holds its own copy
+        try:
+            reply = parent_conn.recv()
+        except (EOFError, OSError) as error:
+            process.join(1.0)
+            parent_conn.close()
+            raise EngineError(
+                f"pool worker {worker.worker_id} died before answering ready "
+                f"(exitcode {process.exitcode})") from error
+        if reply[0] != "ready":
+            process.join(1.0)
+            parent_conn.close()
+            raise EngineError(
+                f"pool worker {worker.worker_id} failed to load bundle "
+                f"{self.bundle_path!r}: {reply[1]}\n{reply[2]}")
+        worker.process = process
+        worker.conn = parent_conn
+        worker.info = reply[1]
+
+    def _discard(self, worker: _Worker) -> None:
+        """Isolate a dead/suspect worker: close its pipe, reap the process."""
+        if worker.conn is not None:
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.conn = None
+        if worker.process is not None:
+            if worker.process.is_alive():
+                worker.process.terminate()
+            worker.process.join(2.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(2.0)
+            worker.process = None
+
+    def _respawn(self, worker: _Worker) -> None:
+        """Isolate-and-retry step 1: replace a dead worker with a fresh one."""
+        self._discard(worker)
+        self._spawn(worker)
+        worker.restarts += 1
+        with self._stats_lock:
+            self.restarts += 1
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _handle_batch(self, batch) -> None:
+        """Hand one coalesced batch to the next idle worker.
+
+        Blocks while every worker is busy (that is the backpressure that
+        keeps the bounded request queue meaningful), but keeps checking the
+        closed flag so ``close()`` during a saturated pool fails the batch
+        with :class:`EngineClosed` instead of deadlocking the scheduler.
+        """
+        while not self._slots_free.acquire(timeout=0.05):
+            if self._closed:
+                self._fail_batch(batch, EngineClosed(
+                    "serving engine closed while the request was still "
+                    "queued; the server is shutting down — retry against "
+                    "a live server"))
+                return
+        if self._closed:
+            self._slots_free.release()
+            self._fail_batch(batch, EngineClosed(
+                "serving engine closed while the request was still queued; "
+                "the server is shutting down — retry against a live server"))
+            return
+        self._shard_queue.put(batch)
+
+    def _dispatch_loop(self, worker: _Worker) -> None:
+        """One thread per worker: pull shards and run them on that worker."""
+        while True:
+            shard = self._shard_queue.get()
+            if shard is _STOP:
+                return
+            try:
+                self._run_shard(worker, shard)
+            finally:
+                self._slots_free.release()
+
+    def _run_shard(self, worker: _Worker, shard) -> None:
+        """Execute one coalesced batch remotely; every future must resolve."""
+        live = [request for request in shard
+                if request.future.set_running_or_notify_cancel()]
+        for group in _request_groups(live):
+            try:
+                fused = _fuse(group)
+                outputs = self._forward_remote(worker, fused)
+                _demux(group, outputs)
+            except BaseException as error:  # noqa: BLE001 — delivered per future
+                self._fail_batch(group, error)
+                continue
+            with self._stats_lock:
+                self.batches += 1
+                self.samples += len(fused)
+
+    def _forward_remote(self, worker: _Worker, fused: np.ndarray) -> np.ndarray:
+        """One fused forward on ``worker``, with isolate-and-retry on death.
+
+        A broken pipe (the worker was killed, crashed, or OOMed) triggers
+        the sweep executor's policy: respawn the worker and retry the batch
+        exactly once; a second death raises :class:`EngineError` for these
+        futures.  A *model* error inside a healthy worker is re-raised
+        as-is and never retried — it would fail identically everywhere.
+        """
+        for attempt in (1, 2):
+            try:
+                with worker.lock:
+                    if not worker.alive:  # found dead before sending
+                        raise _WorkerDied(worker.process.exitcode
+                                          if worker.process else None)
+                    worker.conn.send(("predict", fused))
+                    reply = worker.conn.recv()
+            except (_WorkerDied, EOFError, BrokenPipeError, ConnectionError,
+                    OSError) as error:
+                if self._closed:
+                    raise EngineClosed(
+                        "serving engine closed while the request was in "
+                        "flight; the server is shutting down") from error
+                if attempt == 2:
+                    raise EngineError(
+                        f"pool worker {worker.worker_id} died twice running "
+                        f"the same batch (retried once on a respawned "
+                        f"worker); giving up on these requests") from error
+                try:  # isolate-and-retry: fresh worker, one more attempt
+                    with worker.lock:
+                        self._respawn(worker)
+                except EngineError as spawn_error:
+                    raise EngineError(
+                        f"pool worker {worker.worker_id} died and could not "
+                        f"be respawned: {spawn_error}") from spawn_error
+                continue
+            if reply[0] == "ok":
+                worker.last_stats = reply[2]
+                return reply[1]
+            # ("error", message, traceback): the model raised remotely.
+            raise RuntimeError(
+                f"pool worker {worker.worker_id} forward failed: {reply[1]}\n"
+                f"--- worker traceback ---\n{reply[2]}")
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- warmup ----------------------------------------------------------------
+
+    def warm(self, input_shape: tuple | None = None) -> None:
+        """Broadcast a plan-cache warmup to every worker (each has its own)."""
+        for worker in self._workers:
+            try:
+                with worker.lock:
+                    if not worker.alive:
+                        continue
+                    worker.conn.send(("warm", tuple(input_shape)
+                                      if input_shape is not None else None))
+                    reply = worker.conn.recv()
+                if reply[0] == "ok":
+                    worker.last_stats = reply[2]
+            except (EOFError, BrokenPipeError, ConnectionError, OSError):
+                pass  # a dead worker is respawned on its next shard instead
+
+    # -- shutdown --------------------------------------------------------------
+
+    def _shutdown_backend(self, timeout: float | None) -> None:
+        """Stop dispatcher threads and worker processes after the drain.
+
+        Runs after the scheduler has stopped and every still-queued request
+        has been failed; only shards already handed to workers may be in
+        flight.  Dispatchers finish those (a killed worker's pipe raises,
+        which — with the closed flag up — fails the futures with
+        :class:`EngineClosed`), then exit on their stop sentinels.
+        """
+        for _ in self._dispatchers:
+            self._shard_queue.put(_STOP)
+        deadline = timeout if timeout is not None else 5.0
+        for thread in self._dispatchers:
+            thread.join(deadline)
+        for thread in self._dispatchers:
+            if thread.is_alive():  # a forward is wedged: kill its process so
+                for worker in self._workers:  # the blocked recv raises EOF
+                    if worker.process is not None and worker.process.is_alive():
+                        worker.process.terminate()
+                thread.join(deadline)
+                break
+        self._stop_workers()
+
+    def _stop_workers(self) -> None:
+        for worker in self._workers:
+            if worker.conn is not None:
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, ConnectionError, OSError):
+                    pass
+            self._discard(worker)
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Pool stats: the common queued-engine schema plus per-worker detail.
+
+        ``plan_cache`` aggregates every worker's own cache counters (each
+        process warms independently); ``per_worker`` carries the identity
+        facts the determinism and depth tests pin (pid, derived seed, depth,
+        ``effective_jobs`` as observed inside the worker) next to each
+        worker's serving counters.
+        """
+        stats = super().stats()
+        with self._stats_lock:
+            stats["restarts"] = self.restarts
+        stats["workers"] = self.workers
+        plan_cache = dict.fromkeys(_PLAN_COUNTER_KEYS, 0)
+        plan_cache["compile"] = self.session.compile_enabled
+        per_worker = []
+        for worker in self._workers:
+            worker_plan = worker.last_stats.get("plan_cache", {})
+            for key in _PLAN_COUNTER_KEYS:
+                plan_cache[key] += int(worker_plan.get(key, 0))
+            per_worker.append({
+                "worker": worker.worker_id,
+                "pid": worker.info.get("pid"),
+                "alive": worker.alive,
+                "restarts": worker.restarts,
+                "seed": worker.info.get("seed"),
+                "depth": worker.info.get("depth"),
+                "effective_jobs": worker.info.get("effective_jobs"),
+                "batches": worker.last_stats.get("batches", 0),
+                "samples": worker.last_stats.get("samples", 0),
+                "plan_cache": worker_plan,
+            })
+        stats["plan_cache"] = plan_cache
+        stats["per_worker"] = per_worker
+        return stats
+
+
+class _WorkerDied(Exception):
+    """Internal: a worker was found dead before/while talking to it."""
+
+    def __init__(self, exitcode):
+        super().__init__(f"worker process is dead (exitcode {exitcode})")
+        self.exitcode = exitcode

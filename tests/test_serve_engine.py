@@ -403,6 +403,43 @@ class TestWarmIdempotent:
         assert model.forwards == 1
 
 
+class TestQueuedStatsSchema:
+    """Every queued engine reports the schema ARCHITECTURE.md documents."""
+
+    SHARED_KEYS = {"engine", "requests", "samples", "batches",
+                   "mean_batch_rows", "queue_depth", "queue_size",
+                   "max_batch", "max_wait_ms", "closed"}
+
+    def test_batched_and_pool_share_the_queued_key_names(self, tmp_path):
+        from repro.io import save_bundle
+        from repro.serve import ProcessPoolEngine
+
+        bundle = save_bundle(tmp_path / "model.npz", _tiny_model(),
+                             info={"input_shape": [3, 8, 8]})
+        batched = BatchedEngine(InferenceSession(_tiny_model(), max_batch=8),
+                                max_wait_ms=0.5)
+        pool = ProcessPoolEngine(InferenceSession(bundle, max_batch=8),
+                                 workers=1, max_wait_ms=0.5)
+        try:
+            for engine in (batched, pool):
+                engine.predict(_inputs(3), timeout=60)
+            batched_stats, pool_stats = batched.stats(), pool.stats()
+        finally:
+            pool.close()
+            batched.close()
+        for stats in (batched_stats, pool_stats):
+            assert self.SHARED_KEYS <= set(stats)
+            assert stats["mean_batch_rows"] == 3.0
+            assert stats["queue_depth"] == 0
+            assert stats["requests"] == 1 and stats["samples"] == 3
+        # The pool adds its multi-process detail on top of the shared schema.
+        assert pool_stats["engine"] == "pool"
+        assert pool_stats["workers"] == 1
+        assert pool_stats["restarts"] == 0
+        assert len(pool_stats["per_worker"]) == 1
+        assert pool_stats["plan_cache"]["plans"] >= 1
+
+
 class TestModelRouter:
     def _router(self):
         quad = Predictor(_tiny_model(seed=3), input_shape=(3, 8, 8))
