@@ -16,7 +16,15 @@ Demonstrates the full serving path added on top of the experiment stack:
 3. A :class:`~repro.serve.ModelRouter` mounts both predictors behind the
    stdlib HTTP server's versioned multi-model API — ``GET /v1/models``,
    ``POST /v1/models/<name>/predict``, ``GET /v1/stats`` — while the legacy
-   ``POST /predict`` shim keeps answering for the default model.
+   ``POST /predict`` shim keeps answering for the default model (now with a
+   ``Deprecation`` header naming its v1 successor).
+4. The router wraps each predictor in a
+   :class:`~repro.serve.ManagedModel`, so the mounted models are *operable*
+   while serving: the ``/v1/admin`` routes hot-reload a bundle with zero
+   dropped requests, stage a canary taking a deterministic slice of
+   traffic, and promote it — and ``/v1/stats`` (schema v2) reports real
+   latency percentiles per model.  The ``repro promote`` / ``repro
+   reload`` CLI verbs drive the same API from a shell.
 
 Run as ``python examples/serve_predictions.py``; everything happens in a
 temporary directory and finishes in under a minute on a laptop CPU.
@@ -84,7 +92,12 @@ def main() -> None:
                for entry in top[0]["top_k"]])
 
         # -- both predictors behind the v1 multi-model HTTP API -------------
-        router = ModelRouter({"quad": quad, "linear": linear})
+        # Passing source/load_options makes the mounts hot-reloadable: the
+        # control plane re-loads the bundle path through the same options.
+        router = ModelRouter()
+        router.add("quad", quad, source=str(quad_path),
+                   load_options={"engine": "batched", "max_wait_ms": 1.0})
+        router.add("linear", linear, source=str(linear_path))
         server = make_server(router, port=0, quiet=True)
         host, port = server.server_address[:2]
         threading.Thread(target=server.serve_forever, daemon=True).start()
@@ -114,10 +127,46 @@ def main() -> None:
         print("legacy /predict shim answered for:", legacy["model"])
 
         stats = json.load(urllib.request.urlopen(f"{base}/v1/stats"))
-        print("quad engine stats:", stats["models"]["quad"])
+        entry = stats["models"]["quad"]
+        print("quad scheduler stats:", entry["scheduler"])
         # compile=True (the default) traced each model on first forward;
         # every same-shape request after that was a plan-cache replay.
-        print("quad plan cache:", stats["models"]["quad"]["plan_cache"])
+        print("quad plan cache:", entry["plan_cache"])
+        latency = entry["latency"]
+        print(f"quad latency over {latency['count']} requests: "
+              f"p50={latency['p50_ms']}ms p95={latency['p95_ms']}ms "
+              f"p99={latency['p99_ms']}ms")
+
+        # -- zero-downtime operations: the /v1/admin control plane ----------
+        def admin(method: str, path: str, payload: dict | None = None) -> dict:
+            request = urllib.request.Request(
+                f"{base}{path}", method=method,
+                data=json.dumps(payload).encode() if payload else None,
+                headers={"Content-Type": "application/json"})
+            return json.load(urllib.request.urlopen(request))
+
+        # Stage the linear bundle as a 50% canary on "quad", split traffic,
+        # then promote it — all while the server keeps answering.
+        staged = admin("POST", "/v1/admin/models/quad/canary",
+                       {"bundle": str(linear_path), "percent": 50})
+        print("staged canary:", staged["bundle"], f"at {staged['percent']}%")
+        for _ in range(6):
+            post("/v1/models/quad/predict")
+        split = json.load(urllib.request.urlopen(f"{base}/v1/models/quad/stats"))
+        print("deterministic 50% split:", split["requests_routed"])
+        promoted = admin("POST", "/v1/admin/models/quad/promote")
+        print("promoted:", promoted["status"], "— quad now serves",
+              promoted["bundle"], f"(drained={promoted['drained']})")
+
+        # Hot reload swaps a bundle in place: load + warm off-path, atomic
+        # swap, drain + close the old engine; zero dropped requests.
+        reloaded = admin("POST", "/v1/admin/models/quad/reload",
+                         {"bundle": str(quad_path)})
+        print("hot reload:", reloaded["previous_bundle"], "→",
+              reloaded["bundle"], f"(reload #{reloaded['reloads']})")
+        # From a shell the CLI drives the same API:
+        #   python -m repro promote <bundle-or-artifact.json> --server <base>
+        #   python -m repro reload --server <base>
 
         server.shutdown()
         router.close()  # drains engines; queued clients would get EngineClosed

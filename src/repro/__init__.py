@@ -40,7 +40,7 @@ from .quadratic import (
 from .serve import Predictor, load
 from .tensor import Tensor
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "analysis",

@@ -175,6 +175,7 @@ def serving_benchmarks(rounds: int = 3, warmup: int = 1, clients: int = 8,
 
     from .models import SimpleCNN
     from .serve import BatchedEngine, DirectEngine, InferenceSession
+    from .serve.metrics import LatencyHistogram
 
     model = SimpleCNN(num_classes=10, neuron_type="proposed", rank=3,
                       base_width=8, image_size=16, seed=0)
@@ -182,15 +183,23 @@ def serving_benchmarks(rounds: int = 3, warmup: int = 1, clients: int = 8,
         .astype(np.float32)
     total_requests = clients * requests_per_client
 
-    def storm(engine):
+    def storm(engine, histogram):
         barrier = threading.Barrier(clients)
         errors: list[Exception] = []
 
         def client():
             try:
                 barrier.wait()
-                futures = [engine.submit(sample)
-                           for _ in range(requests_per_client)]
+                futures = []
+                for _ in range(requests_per_client):
+                    submitted = time.perf_counter()
+                    future = engine.submit(sample)
+                    # Completion callback, not result(): per-request latency
+                    # is submit → done, independent of await order.
+                    future.add_done_callback(
+                        lambda f, t0=submitted: histogram.record(
+                            time.perf_counter() - t0))
+                    futures.append(future)
                 for future in futures:
                     future.result(timeout=120)
             except Exception as error:  # noqa: BLE001 — re-raised below
@@ -217,15 +226,22 @@ def serving_benchmarks(rounds: int = 3, warmup: int = 1, clients: int = 8,
     batched_engine = BatchedEngine(session_batched, max_batch=64,
                                    max_wait_ms=2.0,
                                    queue_size=total_requests + clients)
+    direct_latency = LatencyHistogram()
+    batched_latency = LatencyHistogram()
     try:
-        direct = time_callable(lambda: storm(direct_engine),
+        direct = time_callable(lambda: storm(direct_engine, direct_latency),
                                rounds=rounds, warmup=warmup)
-        batched = time_callable(lambda: storm(batched_engine),
+        batched = time_callable(lambda: storm(batched_engine, batched_latency),
                                 rounds=rounds, warmup=warmup)
         batched_stats = batched_engine.stats()
     finally:
         batched_engine.close()
         direct_engine.close()
+
+    def _percentiles(histogram):
+        summary = histogram.summary()
+        return {key: summary[key]
+                for key in ("count", "mean_ms", "p50_ms", "p95_ms", "p99_ms")}
 
     result = {
         "model": "simple_cnn/proposed",
@@ -236,6 +252,8 @@ def serving_benchmarks(rounds: int = 3, warmup: int = 1, clients: int = 8,
         "batched": batched,
         "direct_rps": total_requests / direct["mean_seconds"],
         "batched_rps": total_requests / batched["mean_seconds"],
+        "direct_latency": _percentiles(direct_latency),
+        "batched_latency": _percentiles(batched_latency),
         "mean_batch_rows": batched_stats["mean_batch_rows"],
     }
     if batched["mean_seconds"] > 0 and batched["min_seconds"] > 0:

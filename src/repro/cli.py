@@ -24,7 +24,15 @@
   with cross-request dynamic batching by default (``--engine batched``,
   tuned by ``--max-batch`` / ``--max-wait-ms`` / ``--queue-size``),
   trace-and-replay compilation per model (disable with ``--no-compile``),
-  and graceful SIGINT/SIGTERM draining.
+  per-model admission control (``--max-inflight``), the ``/v1/admin``
+  control plane (disable with ``--no-admin``), and graceful SIGINT/SIGTERM
+  draining.
+* ``promote`` — swap a trained bundle (a path, or a sweep artifact's best
+  checkpoint via its ``meta.bundles``) into a *running* server through the
+  admin API: an immediate hot reload, or a staged canary/shadow
+  (``--canary`` / ``--shadow``) finalized later with ``--finalize``.
+* ``reload``  — hot-reload a mounted model on a running server (re-load its
+  current bundle, or ``--bundle`` to swap paths).
 """
 
 from __future__ import annotations
@@ -236,9 +244,66 @@ def build_parser() -> argparse.ArgumentParser:
                               help="disable trace-and-replay compilation and "
                                    "dispatch every forward through the "
                                    "autograd engine")
+    serve_parser.add_argument("--max-inflight", type=int, default=None,
+                              metavar="N",
+                              help="per-model admission cap: shed requests "
+                                   "with 429 once a model has N in flight, "
+                                   "so one saturated model cannot take the "
+                                   "process down (default: unlimited)")
+    serve_parser.add_argument("--no-admin", action="store_true",
+                              help="disable the /v1/admin control-plane "
+                                   "routes (reload/canary/promote)")
     serve_parser.add_argument("--quiet", action="store_true",
                               help="suppress per-request access logs")
     serve_parser.set_defaults(handler=_command_serve)
+
+    promote_parser = commands.add_parser(
+        "promote", help="swap a bundle into a running server via the admin API")
+    promote_parser.add_argument("target", nargs="?", default=None,
+                                help="bundle .npz path, or a sweep-artifact "
+                                     ".json whose meta.bundles names the "
+                                     "trained bundles (omit with --finalize/"
+                                     "--clear)")
+    promote_parser.add_argument("--server", default="http://127.0.0.1:8000",
+                                help="base URL of the running server "
+                                     "(default: http://127.0.0.1:8000)")
+    promote_parser.add_argument("--model", default=None, metavar="NAME",
+                                help="mounted model to operate on (default: "
+                                     "the server's default model)")
+    promote_parser.add_argument("--bundle-index", type=int, default=0,
+                                metavar="I",
+                                help="which meta.bundles entry to use when "
+                                     "TARGET is an artifact (default: 0; "
+                                     "negative indices count from the end)")
+    promote_parser.add_argument("--canary", type=float, default=None,
+                                metavar="PERCENT",
+                                help="stage TARGET as a canary answering "
+                                     "PERCENT%% of traffic instead of "
+                                     "swapping immediately")
+    promote_parser.add_argument("--shadow", action="store_true",
+                                help="stage TARGET as a shadow: mirror "
+                                     "traffic to it and count agreement, "
+                                     "never answer from it")
+    promote_parser.add_argument("--finalize", action="store_true",
+                                help="promote the already-staged canary to "
+                                     "primary (no TARGET)")
+    promote_parser.add_argument("--clear", action="store_true",
+                                help="retire the staged canary without "
+                                     "touching the primary (no TARGET)")
+    promote_parser.set_defaults(handler=_command_promote)
+
+    reload_parser = commands.add_parser(
+        "reload", help="hot-reload a mounted model on a running server")
+    reload_parser.add_argument("--server", default="http://127.0.0.1:8000",
+                               help="base URL of the running server "
+                                    "(default: http://127.0.0.1:8000)")
+    reload_parser.add_argument("--model", default=None, metavar="NAME",
+                               help="mounted model to reload (default: the "
+                                    "server's default model)")
+    reload_parser.add_argument("--bundle", default=None, metavar="PATH",
+                               help="swap to this bundle (default: re-load "
+                                    "the currently mounted bundle path)")
+    reload_parser.set_defaults(handler=_command_reload)
     return parser
 
 
@@ -411,6 +476,11 @@ def _command_bench(args) -> int:
               f"{serving['batched_rps']:>10.1f} r/s")
         print(f"  {'serving batched-engine speedup':<45s} "
               f"{serving['speedup']:>11.2f}x")
+        latency = serving.get("batched_latency")
+        if latency:
+            label = "serving batched p50/p95/p99"
+            print(f"  {label:<45s} {latency['p50_ms']:>7.2f} / "
+                  f"{latency['p95_ms']:.2f} / {latency['p99_ms']:.2f} ms")
     if pool:
         base = pool["batched"]["rows_per_second"]
         print(f"  {'pool baseline: batched engine':<45s} {base:>10.1f} rows/s")
@@ -524,6 +594,112 @@ def _parse_model_specs(specs: list[str], flag: str = "--model",
     return models
 
 
+def _http_json(method: str, url: str, payload: dict | None = None) -> dict:
+    """One JSON request against the serving/admin API, with readable errors."""
+    import urllib.error
+    import urllib.request
+
+    data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=120.0) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        try:
+            detail = json.loads(error.read().decode("utf-8")).get("error", "")
+        except Exception:  # noqa: BLE001 — the status alone is still useful
+            detail = ""
+        suffix = f": {detail}" if detail else ""
+        raise ValueError(f"{method} {url} failed with "
+                         f"HTTP {error.code}{suffix}") from error
+    except urllib.error.URLError as error:
+        raise ValueError(f"cannot reach the server at {url} "
+                         f"({error.reason}); is it running?") from error
+
+
+def _resolve_bundle_target(target: str, index: int = 0) -> str:
+    """A bundle path, or a sweep artifact's ``meta.bundles[index]``, absolute.
+
+    Artifacts record bundle paths relative to the cache directory they live
+    in, so ``artifact.parent / entry`` is the on-disk bundle; the result is
+    absolute because the running server may have a different working
+    directory than this CLI invocation.
+    """
+    path = Path(target)
+    if path.suffix == ".json":
+        artifact = json.loads(path.read_text())
+        bundles = artifact.get("meta", {}).get("bundles") or []
+        if not bundles:
+            raise ValueError(f"artifact {target} records no bundles in "
+                             f"meta.bundles — was its experiment trained with "
+                             f"a servable model?")
+        if not -len(bundles) <= index < len(bundles):
+            raise ValueError(f"--bundle-index {index} is out of range; "
+                             f"artifact records {len(bundles)} bundle(s): "
+                             f"{bundles}")
+        return str((path.parent / bundles[index]).resolve())
+    return str(path.resolve())
+
+
+def _target_model(server: str, model: str | None) -> str:
+    """``--model`` when given, else the server's default model name."""
+    if model is not None:
+        return model
+    payload = _http_json("GET", f"{server}/v1/models")
+    name = payload.get("default")
+    if not name:
+        raise ValueError(f"server at {server} reports no mounted models; "
+                         f"pass --model explicitly")
+    return name
+
+
+def _command_promote(args) -> int:
+    server = args.server.rstrip("/")
+    if args.finalize or args.clear:
+        if args.finalize and args.clear:
+            raise ValueError("--finalize and --clear are mutually exclusive")
+        if args.target is not None:
+            raise ValueError("--finalize/--clear operate on the already-"
+                             "staged canary; drop the TARGET argument")
+        model = _target_model(server, args.model)
+        if args.finalize:
+            result = _http_json(
+                "POST", f"{server}/v1/admin/models/{model}/promote")
+        else:
+            result = _http_json(
+                "DELETE", f"{server}/v1/admin/models/{model}/canary")
+    else:
+        if args.target is None:
+            raise ValueError("name a bundle or sweep artifact to promote "
+                             "(or pass --finalize / --clear)")
+        bundle = _resolve_bundle_target(args.target, args.bundle_index)
+        model = _target_model(server, args.model)
+        if args.canary is not None or args.shadow:
+            payload: dict = {"bundle": bundle, "shadow": args.shadow}
+            if args.canary is not None:
+                payload["percent"] = args.canary
+            result = _http_json(
+                "POST", f"{server}/v1/admin/models/{model}/canary", payload)
+        else:
+            result = _http_json(
+                "POST", f"{server}/v1/admin/models/{model}/reload",
+                {"bundle": bundle})
+    print(json.dumps(result, indent=2))
+    return 0
+
+
+def _command_reload(args) -> int:
+    server = args.server.rstrip("/")
+    model = _target_model(server, args.model)
+    payload = {"bundle": args.bundle} if args.bundle else {}
+    result = _http_json(
+        "POST", f"{server}/v1/admin/models/{model}/reload", payload)
+    print(json.dumps(result, indent=2))
+    return 0
+
+
 def _command_serve(args) -> int:
     from .serve.http import serve
 
@@ -561,5 +737,6 @@ def _command_serve(args) -> int:
           engine=args.engine, max_wait_ms=args.max_wait_ms,
           queue_size=args.queue_size, request_timeout=args.request_timeout,
           default_model=default_model, compile=not args.no_compile,
-          workers=args.workers)
+          workers=args.workers, max_inflight=args.max_inflight,
+          admin=not args.no_admin)
     return 0

@@ -37,6 +37,8 @@ import numpy as np
 from .batching import BatchedEngine, QueuedEngine
 from .engine import DirectEngine, EngineClosed, EngineError, QueueFull, ServingEngine, make_engine
 from .http import make_server, serve
+from .metrics import LatencyHistogram
+from .ops import ManagedModel, ModelOverloaded
 from .pipeline import Pipeline, softmax, top_k
 from .pool import ProcessPoolEngine
 from .router import ModelRouter
@@ -46,6 +48,7 @@ __all__ = ["InferenceSession", "Pipeline", "Predictor", "load",
            "ServingEngine", "DirectEngine", "BatchedEngine", "QueuedEngine",
            "ProcessPoolEngine", "make_engine",
            "EngineError", "EngineClosed", "QueueFull", "ModelRouter",
+           "ManagedModel", "ModelOverloaded", "LatencyHistogram",
            "make_server", "serve", "softmax", "top_k"]
 
 

@@ -36,8 +36,12 @@ from concurrent.futures import TimeoutError as FutureTimeout
 
 import numpy as np
 
-__all__ = ["ServingEngine", "DirectEngine", "make_engine",
+__all__ = ["ServingEngine", "DirectEngine", "make_engine", "ENGINE_NAMES",
            "EngineError", "EngineClosed", "QueueFull"]
+
+#: Every engine name :func:`make_engine` accepts — the single source of truth
+#: error messages and CLI validation enumerate.
+ENGINE_NAMES = ("direct", "batched", "pool")
 
 
 class EngineError(RuntimeError):
@@ -170,6 +174,7 @@ class DirectEngine(ServingEngine):
                 "requests": self.requests,
                 "samples": self.samples,
                 "max_batch": self.session.max_batch,
+                "queue_depth": 0,  # nothing ever queues on the inline engine
                 "closed": self._closed,
             }
 
@@ -210,5 +215,6 @@ def make_engine(engine, session, max_batch: int | None = None,
             cls = BatchedEngine
         return cls(session, **{key: value for key, value in kwargs.items()
                                if value is not None})
-    raise ValueError(f"unknown serving engine {engine!r}; expected 'direct', "
-                     f"'batched', 'pool', or a ServingEngine instance")
+    expected = ", ".join(repr(name) for name in ENGINE_NAMES)
+    raise ValueError(f"unknown serving engine {engine!r}; expected one of "
+                     f"{expected}, or a ServingEngine instance")
