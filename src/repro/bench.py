@@ -34,9 +34,10 @@ from .io.serialization import atomic_write_json
 
 __all__ = ["time_callable", "fused_kernel_benchmarks", "inference_benchmarks",
            "serving_benchmarks", "pool_benchmarks", "trace_benchmarks",
-           "benchmark_experiments", "build_summary", "check_fused_speedups",
-           "check_inference_speedup", "check_serving_speedup",
-           "check_pool_speedup", "check_trace_speedup", "write_summary"]
+           "generation_benchmarks", "benchmark_experiments", "build_summary",
+           "check_fused_speedups", "check_inference_speedup",
+           "check_serving_speedup", "check_pool_speedup",
+           "check_trace_speedup", "check_generate_speedup", "write_summary"]
 
 #: Fused micro-benchmark result keys, kept identical to the historical
 #: pytest-benchmark test names so BENCH_autograd.json stays a trajectory.
@@ -432,6 +433,75 @@ def trace_benchmarks(rounds: int = 100, warmup: int = 10,
     }
 
 
+def generation_benchmarks(rounds: int = 3, warmup: int = 1, batch: int = 16,
+                          max_len: int = 32) -> dict:
+    """Incremental KV-cached decoding vs the full-prefix recompute.
+
+    Both paths drive the same Transformer through ``max_len - 1`` forced
+    decode steps (termination disabled, so the measured work is identical
+    and independent of what an untrained model happens to emit): the
+    incremental path feeds one token per step through
+    :meth:`~repro.models.transformer.Transformer.decode_step`, the reference
+    re-runs :meth:`~repro.models.transformer.Transformer.decode` over the
+    whole growing prefix — O(T) versus O(T²) in decoder forwards.  Tokens/sec
+    for both and their ratio land under ``generation`` in
+    ``BENCH_autograd.json`` (CI floor: 2x at ``max_len`` 32).
+    """
+    from .models import Transformer
+    from .tensor import no_grad
+
+    model = Transformer(src_vocab_size=101, tgt_vocab_size=97, model_dim=64,
+                        num_heads=4, num_layers=2, hidden_dim=128,
+                        neuron_type="proposed", rank=4, max_len=max_len,
+                        seed=0).eval()
+    rng = np.random.default_rng(3)
+    src_ids = rng.integers(4, 101, size=(batch, 12), dtype=np.int64)
+    steps = max_len - 1
+    bos = 1
+
+    def incremental():
+        with no_grad():
+            state = model.start_decode(src_ids, max_len=max_len)
+            tokens = np.full(batch, bos, dtype=np.int64)
+            for _ in range(steps):
+                logits = model.decode_step(state, tokens)
+                tokens = logits.argmax(axis=-1)
+                tokens = np.where(tokens == model.pad_id, bos, tokens)
+
+    def reference():
+        with no_grad():
+            memory, src_mask = model.encode(src_ids)
+            generated = np.full((batch, 1), bos, dtype=np.int64)
+            for _ in range(steps):
+                logits = model.decode(generated, memory, src_mask)
+                tokens = logits.data[:, -1, :].argmax(axis=-1)
+                tokens = np.where(tokens == model.pad_id, bos, tokens)
+                generated = np.concatenate([generated, tokens[:, None]], axis=1)
+
+    incremental_stats = time_callable(incremental, rounds=rounds, warmup=warmup)
+    reference_stats = time_callable(reference, rounds=rounds, warmup=warmup)
+    tokens_per_round = batch * steps
+    result = {
+        "model": "transformer/proposed",
+        "batch": batch,
+        "max_len": max_len,
+        "steps": steps,
+        "incremental": incremental_stats,
+        "reference": reference_stats,
+        "incremental_tokens_per_second":
+            tokens_per_round / incremental_stats["mean_seconds"],
+        "reference_tokens_per_second":
+            tokens_per_round / reference_stats["mean_seconds"],
+    }
+    if incremental_stats["mean_seconds"] > 0 and \
+            incremental_stats["min_seconds"] > 0:
+        result["speedup"] = (reference_stats["mean_seconds"]
+                             / incremental_stats["mean_seconds"])
+        result["speedup_best"] = (reference_stats["min_seconds"]
+                                  / incremental_stats["min_seconds"])
+    return result
+
+
 def benchmark_experiments(names: list[str], scale: str = "smoke",
                           cache_dir=None, progress=None) -> dict:
     """End-to-end wall time per experiment via the cached runner (cache bypassed).
@@ -462,7 +532,8 @@ def benchmark_experiments(names: list[str], scale: str = "smoke",
 def build_summary(figure_repros: dict, fused_ops: dict, fused_speedups: dict,
                   scale: str, started: float, inference: dict | None = None,
                   serving: dict | None = None, trace: dict | None = None,
-                  pool: dict | None = None) -> dict:
+                  pool: dict | None = None,
+                  generation: dict | None = None) -> dict:
     serving_section = dict(serving or {})
     if pool:  # the pool scaling curve rides inside the serving section
         serving_section["pool"] = pool
@@ -473,6 +544,7 @@ def build_summary(figure_repros: dict, fused_ops: dict, fused_speedups: dict,
         "inference": inference or {},
         "serving": serving_section,
         "trace": trace or {},
+        "generation": generation or {},
         "scale": scale,
         "targets": sorted(figure_repros),
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(started)),
@@ -588,6 +660,25 @@ def check_trace_speedup(summary: dict, minimum: float) -> list[str]:
                 f"{best:.3f}x) is below the {minimum:.2f}x floor at batch "
                 f"{batch} ({trace.get('model')})")
     return violations
+
+
+def check_generate_speedup(summary: dict, minimum: float) -> list[str]:
+    """Regression messages when incremental decoding falls below ``minimum``×
+    the full-prefix recompute at the benched ``max_len``.
+
+    Like the other gates, passes when *either* the mean-based or the
+    best-of-rounds ratio clears the floor.
+    """
+    generation = summary.get("generation", {})
+    ratio = generation.get("speedup")
+    if ratio is None:
+        return ["generation benchmark missing from the summary"]
+    best = generation.get("speedup_best", ratio)
+    if max(ratio, best) < minimum:
+        return [f"incremental-decode speedup = {ratio:.3f}x (best-of-rounds "
+                f"{best:.3f}x) is below the {minimum:.2f}x floor at "
+                f"max_len {generation.get('max_len')}"]
+    return []
 
 
 def write_summary(summary: dict, output) -> None:

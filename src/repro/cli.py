@@ -18,6 +18,12 @@
   ``--min-serving-speedup`` / ``--min-trace-speedup`` CI gates.
 * ``predict`` — batched, no-grad inference on a saved model bundle (from
   a ``.npy`` file or seeded random inputs), JSON out.
+* ``generate`` — autoregressive decoding on a saved *generation* bundle
+  (a seq2seq Transformer saved with its vocabularies, e.g. by the table2
+  experiment): token ids or whitespace-tokenized ``--text`` in, generated
+  tokens with per-step log-probabilities out, through the KV-cached
+  continuous-batching engine (``--strategy``, ``--temperature``,
+  ``--top-k``, ``--seed``).
 * ``serve``   — expose one or more bundles over HTTP through the v1
   multi-model API (``GET /v1/models``, ``POST /v1/models/<name>/predict``,
   ``GET /v1/stats``, plus legacy ``/healthz`` and ``/predict`` shims),
@@ -155,6 +161,15 @@ def build_parser() -> argparse.ArgumentParser:
                                    "single-process batched engine's rows/sec "
                                    "on the multi-row micro (CI perf gate; "
                                    "needs a multi-core machine)")
+    bench_parser.add_argument("--skip-generate", action="store_true",
+                              help="skip the incremental-generation "
+                                   "micro-benchmark")
+    bench_parser.add_argument("--min-generate-speedup", type=float, default=None,
+                              metavar="RATIO",
+                              help="fail when KV-cached incremental decoding "
+                                   "is less than RATIO times faster than the "
+                                   "full-prefix recompute decoder "
+                                   "(CI perf gate)")
     bench_parser.add_argument("--skip-trace", action="store_true",
                               help="skip the traced-replay-vs-dispatch "
                                    "micro-benchmark")
@@ -190,6 +205,46 @@ def build_parser() -> argparse.ArgumentParser:
     predict_parser.add_argument("--output", metavar="JSON", default=None,
                                 help="also write the predictions to this file")
     predict_parser.set_defaults(handler=_command_predict)
+
+    generate_parser = commands.add_parser(
+        "generate", help="autoregressive decoding on a saved generation bundle")
+    generate_parser.add_argument("bundle",
+                                 help="path to a generation bundle .npz (a "
+                                      "seq2seq model saved with vocabularies, "
+                                      "e.g. by the table2 experiment)")
+    generate_source = generate_parser.add_mutually_exclusive_group(required=True)
+    generate_source.add_argument("--input", metavar="JSON",
+                                 help="JSON file (or inline JSON) holding one "
+                                      "source-token-id sequence or a list of "
+                                      "sequences")
+    generate_source.add_argument("--text", action="append", default=None,
+                                 metavar="SENTENCE",
+                                 help="whitespace-tokenized source sentence, "
+                                      "encoded through the bundle's source "
+                                      "vocabulary (repeatable)")
+    generate_parser.add_argument("--max-new-tokens", type=int, default=None,
+                                 help="cap on generated tokens per sequence "
+                                      "(default: the bundle's position budget)")
+    generate_parser.add_argument("--strategy", choices=["greedy", "sample"],
+                                 default=None,
+                                 help="decoding strategy (default: greedy, or "
+                                      "'sample' when --temperature/--top-k "
+                                      "is given)")
+    generate_parser.add_argument("--temperature", type=float, default=None,
+                                 help="sampling temperature (> 0; implies "
+                                      "--strategy sample)")
+    generate_parser.add_argument("--top-k", type=int, default=None,
+                                 help="sample from the k most likely tokens "
+                                      "(implies --strategy sample)")
+    generate_parser.add_argument("--seed", type=int, default=None,
+                                 help="pin the sampling seed for reproducible "
+                                      "output (default: derived per request)")
+    generate_parser.add_argument("--max-batch", type=int, default=8,
+                                 help="decode slots batched per step "
+                                      "(default: 8)")
+    generate_parser.add_argument("--output", metavar="JSON", default=None,
+                                 help="also write the generations to this file")
+    generate_parser.set_defaults(handler=_command_generate)
 
     serve_parser = commands.add_parser(
         "serve", help="serve one or more model bundles over HTTP")
@@ -417,6 +472,10 @@ def _command_bench(args) -> int:
         print("error: --skip-pool would make --min-pool-speedup a vacuous "
               "pass; drop one of the two", file=sys.stderr)
         return 2
+    if args.skip_generate and args.min_generate_speedup is not None:
+        print("error: --skip-generate would make --min-generate-speedup a "
+              "vacuous pass; drop one of the two", file=sys.stderr)
+        return 2
     if args.skip_trace and args.min_trace_speedup is not None:
         print("error: --skip-trace would make --min-trace-speedup a vacuous "
               "pass; drop one of the two", file=sys.stderr)
@@ -447,11 +506,14 @@ def _command_bench(args) -> int:
         bench_module.pool_benchmarks(rounds=max(2, args.rounds // 15))
     trace = {} if args.skip_trace else \
         bench_module.trace_benchmarks(rounds=max(10, args.rounds * 3))
+    generation = {} if args.skip_generate else \
+        bench_module.generation_benchmarks(rounds=max(3, args.rounds // 10))
 
     summary = bench_module.build_summary(figure_repros, fused_ops, fused_speedups,
                                          scale=scale.name, started=started,
                                          inference=inference, serving=serving,
-                                         trace=trace, pool=pool)
+                                         trace=trace, pool=pool,
+                                         generation=generation)
     rows = [{"experiment": name, "scale": scale.name,
              "seconds": stats["mean_seconds"]}
             for name, stats in figure_repros.items()]
@@ -495,6 +557,15 @@ def _command_bench(args) -> int:
                                    key=lambda kv: int(kv[0])):
             label = f"traced replay speedup (batch {batch})"
             print(f"  {label:<45s} {entry['speedup']:>11.2f}x")
+    if generation:
+        label = (f"generation incremental (batch {generation['batch']}, "
+                 f"{generation['steps']} steps)")
+        print(f"  {label:<45s} "
+              f"{generation['incremental_tokens_per_second']:>8.1f} tok/s")
+        print(f"  {'generation full-prefix recompute':<45s} "
+              f"{generation['reference_tokens_per_second']:>8.1f} tok/s")
+        print(f"  {'generation incremental speedup':<45s} "
+              f"{generation['speedup']:>11.2f}x")
 
     if args.output:
         bench_module.write_summary(summary, args.output)
@@ -543,6 +614,15 @@ def _command_bench(args) -> int:
             return 1
         print(f"traced-plan replay >= {args.min_trace_speedup:.2f}x "
               f"dispatched no-grad forwards at every benched batch size")
+    if args.min_generate_speedup is not None:
+        violations = bench_module.check_generate_speedup(
+            summary, args.min_generate_speedup)
+        if violations:
+            for violation in violations:
+                print(f"PERF REGRESSION: {violation}", file=sys.stderr)
+            return 1
+        print(f"KV-cached incremental decoding >= "
+              f"{args.min_generate_speedup:.2f}x the full-prefix recompute")
     return 0
 
 
@@ -573,6 +653,43 @@ def _command_predict(args) -> int:
         "count": len(predictions),
         "predictions": predictions,
     }
+    rendered = json.dumps(document, indent=2)
+    print(rendered)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n")
+    return 0
+
+
+def _command_generate(args) -> int:
+    from .serve import load
+    from .serve.generate import GenerationPredictor
+
+    predictor = load(args.bundle, max_batch=args.max_batch, warm=False)
+    if not isinstance(predictor, GenerationPredictor):
+        print("error: this bundle is a classifier, not a generation model; "
+              "use 'repro predict' instead", file=sys.stderr)
+        return 2
+    with predictor:
+        if args.text is not None:
+            inputs: object = list(args.text)
+        else:
+            source = Path(args.input)
+            raw = source.read_text() if source.exists() else args.input
+            try:
+                inputs = json.loads(raw)
+            except json.JSONDecodeError as error:
+                print(f"error: --input is neither a readable JSON file nor "
+                      f"inline JSON ({error})", file=sys.stderr)
+                return 2
+        outputs = predictor.generate(
+            inputs, max_new_tokens=args.max_new_tokens, strategy=args.strategy,
+            temperature=args.temperature, top_k=args.top_k, seed=args.seed)
+        document = {
+            "bundle": str(args.bundle),
+            "model": predictor.describe()["model"],
+            "count": len(outputs),
+            "outputs": outputs,
+        }
     rendered = json.dumps(document, indent=2)
     print(rendered)
     if args.output:

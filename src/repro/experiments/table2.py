@@ -18,6 +18,7 @@ four evaluation settings and reports the parameter reduction.
 from __future__ import annotations
 
 from ..data import SyntheticTranslationTask
+from ..io.bundle import default_bundle_name, save_bundle
 from ..metrics.bleu import EVALUATION_SETTINGS
 from ..models import Transformer
 from ..nn import LabelSmoothingLoss
@@ -25,8 +26,10 @@ from ..optim import Adam, split_parameter_groups
 from ..training import Seq2SeqTrainer
 from .config import ExperimentScale, get_scale
 from .reporting import format_table, relative_change
+from .runner import active_bundle_dir
 
-__all__ = ["run", "build_transformer", "train_translation_model"]
+__all__ = ["run", "build_transformer", "train_translation_model",
+           "save_translation_bundle"]
 
 
 def _scaled_dim(dim: int, scale_factor: float, multiple_of: int) -> int:
@@ -78,6 +81,31 @@ def train_translation_model(model: Transformer, task: SyntheticTranslationTask,
     return trainer
 
 
+def save_translation_bundle(model: Transformer, task: SyntheticTranslationTask,
+                            discriminator: dict | None = None,
+                            bundle_dir=None) -> str | None:
+    """Save ``model`` as a *servable generation bundle* when a bundle
+    directory is active (or passed explicitly).
+
+    The bundle carries a ``generation`` section — delimiter ids, position
+    budget and both vocabularies — so ``repro.load`` returns a
+    :class:`~repro.serve.generate.GenerationPredictor` for it and
+    ``repro serve`` exposes ``POST /v1/models/<name>/generate``.  Returns
+    the bundle filename (relative use is the runner's concern) or ``None``
+    when no directory is active.
+    """
+    from ..serve.generate import generation_bundle_info
+
+    bundle_dir = bundle_dir if bundle_dir is not None else active_bundle_dir()
+    if bundle_dir is None or getattr(model, "model_spec", None) is None:
+        return None
+    name = default_bundle_name(model, discriminator)
+    save_bundle(bundle_dir / name, model,
+                info={"generation": generation_bundle_info(task),
+                      "task": task.describe()})
+    return name
+
+
 def run(scale: ExperimentScale | None = None) -> dict:
     """Train the Table II models and return BLEU rows plus the parameter comparison."""
     scale = scale or get_scale("bench")
@@ -90,6 +118,9 @@ def run(scale: ExperimentScale | None = None) -> dict:
     baseline_trainer = train_translation_model(baseline, task, scale)
     baseline_bleu = baseline_trainer.evaluate_bleu(task)
     baseline_params = baseline.num_parameters()
+    save_translation_bundle(baseline, task,
+                            discriminator={"neuron": "linear",
+                                           "scale_seed": scale.seed})
 
     # Quadratic Transformers with different Λ learning rates.
     quadratic_results = {}
@@ -99,6 +130,10 @@ def run(scale: ExperimentScale | None = None) -> dict:
         trainer = train_translation_model(model, task, scale, quadratic_lr=quadratic_lr)
         quadratic_results[quadratic_lr] = trainer.evaluate_bleu(task)
         quadratic_params = model.num_parameters()
+        save_translation_bundle(model, task,
+                                discriminator={"neuron": "proposed",
+                                               "quadratic_lr": quadratic_lr,
+                                               "scale_seed": scale.seed})
 
     # Table II layout: one row per evaluation setting.
     rows = []

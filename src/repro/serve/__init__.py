@@ -36,6 +36,7 @@ import numpy as np
 
 from .batching import BatchedEngine, QueuedEngine
 from .engine import DirectEngine, EngineClosed, EngineError, QueueFull, ServingEngine, make_engine
+from .generate import DecodeState, GenerationEngine, GenerationPredictor
 from .http import make_server, serve
 from .metrics import LatencyHistogram
 from .ops import ManagedModel, ModelOverloaded
@@ -47,6 +48,7 @@ from .session import InferenceSession
 __all__ = ["InferenceSession", "Pipeline", "Predictor", "load",
            "ServingEngine", "DirectEngine", "BatchedEngine", "QueuedEngine",
            "ProcessPoolEngine", "make_engine",
+           "DecodeState", "GenerationEngine", "GenerationPredictor",
            "EngineError", "EngineClosed", "QueueFull", "ModelRouter",
            "ManagedModel", "ModelOverloaded", "LatencyHistogram",
            "make_server", "serve", "softmax", "top_k"]
@@ -180,8 +182,8 @@ class Predictor:
 
 def load(path, max_batch: int = 64, warm: bool = True, engine="direct",
          max_wait_ms: float | None = None, queue_size: int | None = None,
-         compile: bool = True, workers: int | None = None) -> Predictor:
-    """Load a bundle from ``path`` into a ready-to-serve :class:`Predictor`.
+         compile: bool = True, workers: int | None = None):
+    """Load a bundle from ``path`` into a ready-to-serve predictor.
 
     Re-exported as :func:`repro.load`; warming is on by default so the first
     request after process start doesn't pay the buffer-allocation cost —
@@ -191,8 +193,24 @@ def load(path, max_batch: int = 64, warm: bool = True, engine="direct",
     into cross-request dynamic batching (what ``repro serve`` uses by
     default); ``engine="pool"`` shards fused batches across ``workers``
     warm worker processes; ``compile=False`` forces classic per-op dispatch.
+
+    Bundles whose section carries ``generation`` metadata (sequence models
+    exported with :func:`repro.serve.generate.generation_bundle_info`) come
+    back as a :class:`~repro.serve.generate.GenerationPredictor` instead —
+    same load options, but ``max_batch`` sizes the decode-slot pool and the
+    prediction-only knobs (``engine``/``workers``/``compile``) are ignored.
     """
-    return Predictor.from_bundle(path, max_batch=max_batch, warm=warm,
+    from ..io.bundle import Bundle, load_bundle
+
+    bundle = path if isinstance(path, Bundle) else load_bundle(path)
+    if bundle.section.get("generation"):
+        from .generate import GenerationPredictor
+
+        return GenerationPredictor.from_bundle(
+            bundle, max_batch=max_batch, warm=warm, engine=engine,
+            max_wait_ms=max_wait_ms, queue_size=queue_size, compile=compile,
+            workers=workers)
+    return Predictor.from_bundle(bundle, max_batch=max_batch, warm=warm,
                                  engine=engine, max_wait_ms=max_wait_ms,
                                  queue_size=queue_size, compile=compile,
                                  workers=workers)

@@ -1,0 +1,380 @@
+"""Continuous-batching generation engine.
+
+The prediction engines in :mod:`repro.serve.batching` coalesce *independent
+one-shot requests* into fused forwards.  Generation is a different shape of
+work — each request is a multi-step loop whose length is unknown up front —
+so batching happens *across steps* instead of across arrivals:
+
+* A fixed pool of decode **slots** (one :class:`~.state.DecodeState` row
+  each) holds the in-flight sequences.
+* Every scheduler iteration runs **one batched** ``decode_step`` across all
+  active slots — a sequence on token 3 and a sequence on token 40 share the
+  same forward — then applies each request's own strategy to its logits row.
+* Finished sequences retire **immediately** (their futures resolve
+  mid-storm, not at a batch boundary) and their slots are re-admitted from
+  the queue between steps, so the batch stays full while work is waiting.
+* Prefill (the encoder pass) runs **solo per request** at admission: the
+  byte-identity contract of the incremental decoder is anchored to batch-1
+  reference numerics, and a solo prefill keeps a request's outputs
+  independent of which other sequences happened to arrive alongside it.
+
+Queueing semantics mirror :class:`~repro.serve.batching.QueuedEngine`: a
+bounded queue with :class:`~repro.serve.engine.QueueFull` backpressure, a
+background scheduler thread, and ``close()`` that drains in-flight sequences
+and fails queued futures with :class:`~repro.serve.engine.EngineClosed`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+
+import numpy as np
+
+from ...parallel.seeding import derive_seed
+from ..engine import EngineClosed, QueueFull
+from .strategies import GenerationStrategy, make_strategy, token_logprobs
+
+__all__ = ["GenerationEngine"]
+
+#: Sentinel telling the scheduler thread to begin shutting down.
+_SHUTDOWN = object()
+
+
+class _Request:
+    """One in-flight (or queued) generation: its future and running output."""
+
+    __slots__ = ("future", "source", "max_new_tokens", "strategy", "rng",
+                 "tokens", "logprobs", "last_token", "slot")
+
+    def __init__(self, future: Future, source: np.ndarray, max_new_tokens: int,
+                 strategy: GenerationStrategy, rng: np.random.Generator):
+        self.future = future
+        self.source = source
+        self.max_new_tokens = max_new_tokens
+        self.strategy = strategy
+        self.rng = rng
+        self.tokens: list[int] = []
+        self.logprobs: list[float] = []
+        self.last_token = -1
+        self.slot = -1
+
+
+class GenerationEngine:
+    """Continuous batching over one model's incremental decoder.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.models.transformer.Transformer` (anything exposing
+        ``new_decode_state``/``prefill``/``decode_step`` and ``pad_id``).
+    bos_id / eos_id:
+        Sequence delimiters; decoding starts from ``bos_id`` and a row
+        retires when it emits ``eos_id`` (or the model's ``pad_id``).
+    max_batch:
+        Number of decode slots — the ceiling on concurrently decoding
+        sequences; further arrivals wait in the queue.
+    max_len:
+        Per-sequence position budget (clamped to the model's ``max_len``).
+    max_wait_ms:
+        How long an idle scheduler blocks on the queue before re-checking
+        for shutdown; also the arrival-coalescing window when the pool is
+        empty.
+    queue_size:
+        Bound on queued requests; beyond it ``submit`` raises
+        :class:`QueueFull` (HTTP 429).
+    seed:
+        Root of the per-request sampling streams: request ``i`` (in arrival
+        order) draws from ``derive_seed(seed, "generate", i)`` unless the
+        caller pins its own ``seed`` at :meth:`submit` time.
+    """
+
+    name = "generation"
+
+    def __init__(self, model, bos_id: int, eos_id: int, max_batch: int = 8,
+                 max_len: int | None = None, max_wait_ms: float = 2.0,
+                 queue_size: int = 256, seed: int = 0, autostart: bool = True):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        self.model = model
+        self.bos_id = int(bos_id)
+        self.eos_id = int(eos_id)
+        self.pad_id = int(model.pad_id)
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.queue_size = int(queue_size)
+        self.seed = int(seed)
+        self.state = model.new_decode_state(self.max_batch, max_len=max_len)
+
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._active: dict[int, _Request] = {}
+        self._free = list(range(self.max_batch - 1, -1, -1))
+        self._lock = threading.Lock()
+        self._closed = False
+        self._shutdown = False
+        self._scheduler: threading.Thread | None = None
+        self._scheduler_exited = threading.Event()
+        # Telemetry (guarded by _lock; the scheduler is the only writer).
+        self._requests = 0
+        self._completed = 0
+        self._tokens_generated = 0
+        self._steps = 0
+        self._step_rows = 0
+        if autostart:
+            self.start()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._scheduler is not None and self._scheduler.is_alive():
+            return
+        self._scheduler_exited.clear()
+        self._scheduler = threading.Thread(target=self._scheduler_loop,
+                                           name="repro-generate-scheduler",
+                                           daemon=True)
+        self._scheduler.start()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Drain in-flight sequences, fail queued futures, stop the thread.
+
+        Active sequences finish decoding (their clients get real results);
+        requests still waiting in the queue fail fast with
+        :class:`EngineClosed` instead of hanging.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._shutdown = True
+        try:
+            self._queue.put_nowait(_SHUTDOWN)
+        except queue.Full:  # the scheduler will see _shutdown on its next poll
+            pass
+        if self._scheduler is not None:
+            self._scheduler.join(timeout)
+        self._fail_pending()
+
+    def __enter__(self) -> "GenerationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def warm(self, input_shape=None, batch_sizes=None) -> None:
+        """No-op (kept for engine-interface symmetry): decode state is
+        preallocated at construction and there is no plan cache to prime."""
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, source, max_new_tokens: int | None = None, strategy=None,
+               temperature: float | None = None, top_k: int | None = None,
+               seed: int | None = None) -> Future:
+        """Enqueue one sequence; returns a future resolving to a result dict.
+
+        ``source`` is a 1-D sequence of source-token ids.  The result is
+        ``{"tokens": [...], "logprobs": [...], "finish_reason": "eos" |
+        "length" | "max_len", "steps": N}`` — generated ids (``eos``/``pad``
+        excluded), the log-probability of each generated token under the
+        model, and why decoding stopped.
+        """
+        source = np.asarray(source, dtype=np.int64)
+        if source.ndim != 1 or source.shape[0] < 1:
+            raise ValueError(f"source must be a non-empty 1-D token-id "
+                             f"sequence, got shape {tuple(source.shape)}")
+        if source.shape[0] > self.state.src_capacity:
+            raise ValueError(f"source length {source.shape[0]} exceeds the "
+                             f"engine's capacity {self.state.src_capacity}")
+        budget = self.state.max_len - 1  # position 0 is the <bos> feed
+        max_new_tokens = budget if max_new_tokens is None \
+            else min(int(max_new_tokens), budget)
+        if max_new_tokens < 1:
+            raise ValueError(f"max_new_tokens must be >= 1, got {max_new_tokens}")
+        resolved = make_strategy(strategy, temperature=temperature, top_k=top_k)
+        with self._lock:
+            if self._closed:
+                raise EngineClosed("generation engine is closed; no new "
+                                   "sequences are accepted")
+            index = self._requests
+            self._requests += 1
+        components = ("generate", index) if seed is None else ("generate",)
+        rng = np.random.default_rng(
+            derive_seed(self.seed if seed is None else int(seed), *components))
+        request = _Request(Future(), source, max_new_tokens, resolved, rng)
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            raise QueueFull(f"generation queue is full ({self.queue_size} "
+                            f"requests waiting); retry with backoff") from None
+        if self._closed:  # close() raced the enqueue — fail loudly, not silently
+            self._fail_pending()
+        return request.future
+
+    # -- scheduler -------------------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        try:
+            while True:
+                self._admit()
+                if not self._active:
+                    if self._shutdown:
+                        break
+                    continue
+                self._step()
+        finally:
+            with self._lock:
+                self._closed = True
+            self._fail_pending()
+            self._scheduler_exited.set()
+
+    def _admit(self) -> None:
+        """Move queued requests into free slots; block briefly when idle."""
+        block = not self._active and not self._shutdown
+        while self._free or block:
+            try:
+                item = self._queue.get(timeout=self.max_wait_ms / 1000.0) \
+                    if block else self._queue.get_nowait()
+            except queue.Empty:
+                return
+            block = False
+            if item is _SHUTDOWN:
+                return
+            if not self._free:  # shutdown sentinel consumed a blocking get
+                self._requeue(item)
+                return
+            self._start_request(item)
+
+    def _requeue(self, request: _Request) -> None:
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self._fail_request(request.future,
+                               QueueFull("generation queue overflowed while "
+                                         "re-queueing; retry with backoff"))
+
+    def _start_request(self, request: _Request) -> None:
+        """Prefill one request into a free slot (solo — batch-1 numerics)."""
+        if not request.future.set_running_or_notify_cancel():
+            return
+        slot = self._free.pop()
+        try:
+            self.model.prefill(self.state, np.array([slot], dtype=np.int64),
+                               request.source[None, :])
+        except Exception as error:  # noqa: BLE001 — a bad request must not kill the loop
+            self._free.append(slot)
+            try:
+                request.future.set_exception(error)
+            except Exception:  # pragma: no cover — future already resolved
+                pass
+            return
+        request.slot = slot
+        request.last_token = self.bos_id
+        self._active[slot] = request
+
+    def _step(self) -> None:
+        """One batched decode step across every active slot."""
+        rows = np.array(sorted(self._active), dtype=np.int64)
+        tokens = np.array([self._active[slot].last_token for slot in rows],
+                          dtype=np.int64)
+        try:
+            logits = self.model.decode_step(self.state, tokens, rows=rows)
+        except Exception as error:  # noqa: BLE001 — fail the batch, keep serving
+            for slot in rows:
+                self._finish(self._active[slot], error=error)
+            return
+        logprobs = token_logprobs(logits)
+        with self._lock:
+            self._steps += 1
+            self._step_rows += rows.shape[0]
+        for position, slot in enumerate(rows):
+            request = self._active[int(slot)]
+            token = request.strategy.select(logits[position], request.rng)
+            if token == self.eos_id or token == self.pad_id:
+                self._finish(request, reason="eos")
+                continue
+            request.tokens.append(token)
+            request.logprobs.append(float(logprobs[position, token]))
+            request.last_token = token
+            with self._lock:
+                self._tokens_generated += 1
+            if len(request.tokens) >= request.max_new_tokens:
+                self._finish(request, reason="length")
+            elif int(self.state.lengths[int(slot)]) >= self.state.max_len:
+                self._finish(request, reason="max_len")
+
+    def _finish(self, request: _Request, reason: str | None = None,
+                error: Exception | None = None) -> None:
+        del self._active[request.slot]
+        self._free.append(request.slot)
+        try:
+            if error is not None:
+                request.future.set_exception(error)
+            else:
+                with self._lock:
+                    self._completed += 1
+                request.future.set_result({
+                    "tokens": list(request.tokens),
+                    "logprobs": list(request.logprobs),
+                    "finish_reason": reason,
+                    "steps": len(request.tokens),
+                })
+        except Exception:  # pragma: no cover — future already resolved
+            pass
+
+    def _fail_request(self, future: Future, error: Exception) -> None:
+        if future.set_running_or_notify_cancel():
+            try:
+                future.set_exception(error)
+            except Exception:  # pragma: no cover
+                pass
+
+    def _fail_pending(self) -> None:
+        error = EngineClosed("generation engine closed before this request "
+                            "was scheduled; retry against a live server")
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                self._fail_request(item.future, error)
+        for slot in list(self._active):
+            self._fail_request(self._active.pop(slot).future, error)
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """QueuedEngine-schema counters plus the ``generation`` section.
+
+        ``samples`` counts generated tokens (the unit of work a step
+        produces) and ``batches`` counts decode steps, so ``mean_batch_rows``
+        reads as the average number of sequences sharing a forward.
+        """
+        with self._lock:
+            steps = self._steps
+            step_rows = self._step_rows
+            tokens = self._tokens_generated
+            stats = {
+                "engine": self.name,
+                "requests": self._requests,
+                "samples": tokens,
+                "batches": steps,
+                "mean_batch_rows": (step_rows / steps) if steps else 0.0,
+                "queue_depth": self._queue.qsize(),
+                "queue_size": self.queue_size,
+                "max_batch": self.max_batch,
+                "max_wait_ms": self.max_wait_ms,
+                "closed": self._closed,
+                "generation": {
+                    "tokens_generated": tokens,
+                    "completed": self._completed,
+                    "active_sequences": len(self._active),
+                    "mean_batch_occupancy":
+                        (step_rows / (steps * self.max_batch)) if steps else 0.0,
+                    "slots": self.max_batch,
+                    "cache": self.state.describe(),
+                },
+            }
+        return stats

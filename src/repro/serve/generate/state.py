@@ -1,0 +1,144 @@
+"""Per-sequence decode caches: the mutable state behind incremental decoding.
+
+A :class:`DecodeState` owns every array the KV-cached decode path of
+:class:`~repro.models.transformer.Transformer` writes between steps, for a
+fixed number of *slots* (concurrent sequences):
+
+* ``self_keys`` / ``self_values`` — one ``(slots, heads, capacity, head_dim)``
+  cache pair per decoder layer for the self-attention keys/values of every
+  token decoded so far.  ``capacity`` starts small and doubles on demand up
+  to ``max_len`` (:meth:`ensure_capacity`), so a fleet of mostly-short
+  sequences never pays for the worst case.
+* ``memory_keys`` / ``memory_values`` — one ``(slots, heads, src_capacity,
+  head_dim)`` pair per layer holding the cross-attention projections of the
+  encoder memory, computed exactly once per sequence at prefill.
+* ``key_mask`` — additive ``(slots, capacity)`` mask over decoded positions:
+  ``0.0`` where a real (non-pad) token sits, ``-1e9`` for pad tokens and
+  for positions not yet filled.  Slicing it to the current window *is* the
+  causal + target-padding mask of the full-prefix recompute, which is what
+  makes the incremental path byte-identical to
+  :meth:`~repro.models.transformer.Transformer.decode`.
+* ``src_mask`` — additive ``(slots, 1, 1, src_capacity)`` source padding
+  mask; columns beyond a sequence's own source length stay masked, so slots
+  prefixed with different source lengths batch into one step safely.
+* ``lengths`` — decoded positions per slot (the per-row time index, so rows
+  at different depths step together in one ragged batch).
+
+Slot reuse is free: :meth:`reset_rows` only clears the masks and lengths —
+stale cache values are finite and carry exactly zero attention weight, so
+they never leak into a new sequence's output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DecodeState"]
+
+_NEG_INF = -1e9
+
+#: Initial per-slot self-attention cache capacity (grown by doubling).
+DEFAULT_INITIAL_CAPACITY = 16
+
+
+class DecodeState:
+    """Preallocated, slot-addressed KV caches for incremental decoding."""
+
+    def __init__(self, slots: int, num_layers: int, num_heads: int,
+                 head_dim: int, max_len: int, src_capacity: int,
+                 initial_capacity: int = DEFAULT_INITIAL_CAPACITY,
+                 dtype: np.dtype | type = np.float64):
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        if max_len < 1:
+            raise ValueError(f"max_len must be >= 1, got {max_len}")
+        if src_capacity < 1:
+            raise ValueError(f"src_capacity must be >= 1, got {src_capacity}")
+        self.slots = int(slots)
+        self.num_layers = int(num_layers)
+        self.num_heads = int(num_heads)
+        self.head_dim = int(head_dim)
+        self.max_len = int(max_len)
+        self.src_capacity = int(src_capacity)
+        self.capacity = min(max(1, int(initial_capacity)), self.max_len)
+        self.grows = 0
+        self.dtype = np.dtype(dtype)
+
+        def kv(length: int) -> list[np.ndarray]:
+            return [np.zeros((self.slots, self.num_heads, length, self.head_dim),
+                             dtype=self.dtype) for _ in range(self.num_layers)]
+
+        self.self_keys = kv(self.capacity)
+        self.self_values = kv(self.capacity)
+        self.memory_keys = kv(self.src_capacity)
+        self.memory_values = kv(self.src_capacity)
+        self.key_mask = np.full((self.slots, self.capacity), _NEG_INF,
+                                dtype=np.float32)
+        self.src_mask = np.full((self.slots, 1, 1, self.src_capacity), _NEG_INF,
+                                dtype=np.float32)
+        self.lengths = np.zeros(self.slots, dtype=np.int64)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def reset_rows(self, rows: np.ndarray) -> None:
+        """Recycle ``rows`` for new sequences (cache values stay — masked)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        self.lengths[rows] = 0
+        self.key_mask[rows, :] = _NEG_INF
+        self.src_mask[rows] = _NEG_INF
+
+    def ensure_capacity(self, needed: int) -> None:
+        """Grow the self-attention caches (doubling) to hold ``needed`` steps."""
+        if needed <= self.capacity:
+            return
+        if needed > self.max_len:
+            raise ValueError(f"decode position {needed} exceeds max_len "
+                             f"{self.max_len}")
+        new_capacity = min(self.max_len, max(needed, self.capacity * 2))
+
+        def grown(caches: list[np.ndarray]) -> list[np.ndarray]:
+            fresh = []
+            for cache in caches:
+                bigger = np.zeros((self.slots, self.num_heads, new_capacity,
+                                   self.head_dim), dtype=self.dtype)
+                bigger[:, :, :self.capacity, :] = cache
+                fresh.append(bigger)
+            return fresh
+
+        self.self_keys = grown(self.self_keys)
+        self.self_values = grown(self.self_values)
+        mask = np.full((self.slots, new_capacity), _NEG_INF, dtype=np.float32)
+        mask[:, :self.capacity] = self.key_mask
+        self.key_mask = mask
+        self.capacity = new_capacity
+        self.grows += 1
+
+    # -- introspection ---------------------------------------------------------
+
+    def occupancy(self, rows: np.ndarray | None = None) -> float:
+        """Mean filled fraction of the position budget over ``rows`` (or all)."""
+        lengths = self.lengths if rows is None else self.lengths[np.asarray(rows)]
+        if lengths.size == 0:
+            return 0.0
+        return float(lengths.sum()) / (lengths.size * self.max_len)
+
+    def cache_bytes(self) -> int:
+        """Total bytes currently held by the KV caches (growth telemetry)."""
+        arrays = (self.self_keys + self.self_values + self.memory_keys
+                  + self.memory_values)
+        return int(sum(array.nbytes for array in arrays)
+                   + self.key_mask.nbytes + self.src_mask.nbytes)
+
+    def describe(self) -> dict:
+        return {
+            "slots": self.slots,
+            "capacity": self.capacity,
+            "max_len": self.max_len,
+            "src_capacity": self.src_capacity,
+            "grows": self.grows,
+            "cache_bytes": self.cache_bytes(),
+        }
+
+    def __repr__(self) -> str:
+        return (f"DecodeState(slots={self.slots}, layers={self.num_layers}, "
+                f"capacity={self.capacity}/{self.max_len})")

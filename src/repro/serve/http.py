@@ -18,6 +18,13 @@ Versioned API
     Body ``{"inputs": <nested array>, "top_k": <int, optional>,
     "normalize": <bool, optional>}``; response ``{"model": <name>,
     "predictions": [...], "count": N}`` with one top-k record per sample.
+``POST /v1/models/<name>/generate``
+    Generation bundles only.  Body ``{"inputs": <token-id sequences or
+    text>, "max_new_tokens": <int>, "strategy": "greedy"|"sample",
+    "temperature": <float>, "top_k": <int>, "seed": <int>}`` (all but
+    ``inputs`` optional); response ``{"model": <name>, "outputs":
+    [{"tokens": [...], "logprobs": [...], "finish_reason": ...,
+    "steps": N, "text": ...}], "count": N}``.
 ``GET /v1/stats``
     Stats schema v2: ``{"schema_version": 2, "server": {uptime_seconds,
     version, pid}, "models": {<name>: <entry>}}`` where each model entry
@@ -81,6 +88,7 @@ MAX_REQUEST_BYTES = 64 * 1024 * 1024
 _ENDPOINTS = ("GET /healthz, GET /v1/models, GET /v1/models/<name>, "
               "GET /v1/models/<name>/stats, GET /v1/stats, POST /predict, "
               "POST /v1/models/<name>/predict, "
+              "POST /v1/models/<name>/generate, "
               "POST /v1/admin/models/<name>/{reload,canary,promote}, "
               "DELETE /v1/admin/models/<name>/canary")
 
@@ -204,6 +212,10 @@ class PredictionHandler(BaseHTTPRequestHandler):
             model_name = None  # legacy shim → default model
             extra_headers = _deprecation_headers(
                 f"/v1/models/{self.server.router.default_name}/predict")
+        elif path.startswith("/v1/models/") and path.endswith("/generate"):
+            self._handle_generate(
+                unquote(path[len("/v1/models/"):-len("/generate")]), body)
+            return
         elif path.startswith("/v1/models/") and path.endswith("/predict"):
             model_name = unquote(path[len("/v1/models/"):-len("/predict")])
             extra_headers = None
@@ -250,6 +262,54 @@ class PredictionHandler(BaseHTTPRequestHandler):
             return
         self._send_json(200, {"model": name, "predictions": predictions,
                               "count": len(predictions)}, headers=extra_headers)
+
+    def _handle_generate(self, model_name: str, body: bytes) -> None:
+        """``POST /v1/models/<name>/generate`` — token ids in, tokens +
+        per-step logprobs out, same status taxonomy as predict."""
+        resolved = self._resolve_model(model_name)
+        if not resolved:
+            return
+        name, model = resolved
+        try:
+            if not body:
+                raise ValueError("request body is empty")
+            request = json.loads(body.decode("utf-8"))
+            if not isinstance(request, dict) or "inputs" not in request:
+                raise ValueError('request must be a JSON object with an '
+                                 '"inputs" key (token-id sequences or text)')
+            options = {}
+            for key, cast in (("max_new_tokens", int), ("strategy", str),
+                              ("temperature", float), ("top_k", int),
+                              ("seed", int)):
+                if request.get(key) is not None:
+                    options[key] = cast(request[key])
+        except (ValueError, TypeError, json.JSONDecodeError,
+                UnicodeDecodeError) as error:
+            self._send_json(400, {"error": str(error)})
+            return
+
+        try:
+            outputs = model.generate(request["inputs"],
+                                     timeout=self.server.request_timeout,
+                                     **options)
+        except QueueFull as error:  # backpressure → 429
+            self._send_json(429, {"error": str(error)},
+                            headers={"Retry-After": "1"})
+            return
+        except EngineClosed as error:  # draining for shutdown
+            self._send_json(503, {"error": str(error)})
+            return
+        except (TimeoutError, FutureTimeout) as error:
+            self._send_json(504, {"error": str(error)})
+            return
+        except ValueError as error:  # bad tokens / not a generation model
+            self._send_json(400, {"error": str(error)})
+            return
+        except Exception as error:  # noqa: BLE001 — a serving loop must not die
+            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+            return
+        self._send_json(200, {"model": name, "outputs": outputs,
+                              "count": len(outputs)})
 
     def do_DELETE(self):
         body = self._read_body()

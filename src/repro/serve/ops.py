@@ -234,7 +234,9 @@ class ManagedModel:
         finally:
             self._release(mount)
         mount.latency.record(time.perf_counter() - start)
-        if not is_canary:
+        # Shadow comparison is defined over class indices, so only the
+        # predict family mirrors; generation results pass straight through.
+        if not is_canary and method != "generate":
             self._mirror_to_shadow(inputs, method, result, normalize)
         return result
 
@@ -257,6 +259,19 @@ class ManagedModel:
                      timeout: float | None = None) -> list[dict]:
         return self._request("predict_topk", inputs, k=k, normalize=normalize,
                              timeout=timeout)
+
+    def generate(self, inputs, timeout: float | None = None,
+                 **options) -> list[dict]:
+        """Generation bundles only: route one generate call like a predict.
+
+        Goes through the same admission/canary/latency machinery as the
+        predict family; raises ``ValueError`` (HTTP 400) when the mounted
+        predictor is a classifier without a generate surface.
+        """
+        if not hasattr(self._primary.predictor, "generate"):
+            raise ValueError("this model is a classifier bundle; it serves "
+                             "predict, not generate")
+        return self._request("generate", inputs, timeout=timeout, **options)
 
     # -- shadow mirroring ------------------------------------------------------
 

@@ -18,6 +18,7 @@ from .tensor import Tensor
 
 __all__ = [
     "softmax",
+    "attention_softmax",
     "log_softmax",
     "logsumexp",
     "gelu",
@@ -41,6 +42,18 @@ def logsumexp(logits: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
 def softmax(logits: Tensor, axis: int = -1) -> Tensor:
     """Softmax along ``axis`` with max-subtraction for numerical stability."""
     return apply_op("softmax", logits, axis=axis)
+
+
+def attention_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Softmax with a strictly left-to-right (sequential) denominator sum.
+
+    Bitwise invariant under appended fully-masked columns and independent
+    across rows, unlike :func:`softmax` whose pairwise-sum denominator
+    regroups as the reduced length changes.  Attention weights must have
+    both properties for KV-cached incremental decoding to reproduce the
+    full-prefix recompute byte for byte.
+    """
+    return apply_op("attention_softmax", logits, axis=axis)
 
 
 def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:

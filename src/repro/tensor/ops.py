@@ -631,6 +631,32 @@ register_op("softmax", _softmax_fw, _softmax_vjp,
             sample=lambda rng: ([_sn(rng, 4, 6)], {"axis": -1}))
 
 
+def _attention_softmax_fw(ctx, a, axis=-1):
+    """Softmax whose denominator is accumulated strictly left-to-right.
+
+    ``np.sum``'s pairwise reduction regroups as the reduced length changes,
+    so a softmax over masked padding columns (additive ``-1e9`` → exp of
+    exactly 0.0) is not bitwise equal to the softmax over just the real
+    columns.  Attention needs it to be: KV-cached incremental decoding
+    attends over a fixed-capacity window whose tail is masked padding, and
+    its output must match the full-prefix recompute byte for byte.  A
+    cumulative (sequential) sum makes trailing exact-zero terms
+    byte-transparent and each row's denominator independent of every other
+    row, which is what the cache path relies on.
+    """
+    exps = np.exp(a - a.max(axis=axis, keepdims=True))
+    tail = [slice(None)] * exps.ndim
+    tail[axis] = slice(-1, None)
+    value = exps / np.cumsum(exps, axis=axis)[tuple(tail)]
+    if ctx.requires_grad:
+        ctx.saved = value
+    return value
+
+
+register_op("attention_softmax", _attention_softmax_fw, _softmax_vjp,
+            sample=lambda rng: ([_sn(rng, 4, 6)], {"axis": -1}))
+
+
 def _log_softmax_fw(ctx, a, axis=-1):
     shifted = a - a.max(axis=axis, keepdims=True)
     value = shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
