@@ -34,10 +34,12 @@ from .io.serialization import atomic_write_json
 
 __all__ = ["time_callable", "fused_kernel_benchmarks", "inference_benchmarks",
            "serving_benchmarks", "pool_benchmarks", "trace_benchmarks",
-           "generation_benchmarks", "benchmark_experiments", "build_summary",
+           "generation_benchmarks", "training_benchmarks",
+           "benchmark_experiments", "build_summary",
            "check_fused_speedups", "check_inference_speedup",
            "check_serving_speedup", "check_pool_speedup",
-           "check_trace_speedup", "check_generate_speedup", "write_summary"]
+           "check_trace_speedup", "check_generate_speedup",
+           "check_train_speedup", "write_summary"]
 
 #: Fused micro-benchmark result keys, kept identical to the historical
 #: pytest-benchmark test names so BENCH_autograd.json stays a trajectory.
@@ -502,6 +504,73 @@ def generation_benchmarks(rounds: int = 3, warmup: int = 1, batch: int = 16,
     return result
 
 
+def training_benchmarks(rounds: int = 2, warmup: int = 1, world_size: int = 4,
+                        worker_counts: tuple[int, ...] = (1, 2, 4),
+                        batches: int = 4, batch_size: int = 64) -> dict:
+    """Worker-count scaling curve of data-parallel training.
+
+    One epoch of :class:`~repro.training.DataParallelTrainer` over a fixed
+    synthetic workload, at a **fixed** ``world_size`` and varying worker
+    counts — so every configuration computes byte-identical parameters (the
+    shard arithmetic never changes) and the curve measures pure execution
+    scaling: shards running concurrently in worker processes versus
+    sequentially inline.  Samples/sec per worker count lands under
+    ``training`` in ``BENCH_autograd.json``.
+
+    The warmup round spawns the worker fleet, so process startup is excluded
+    from the timed rounds (steady-state training amortizes spawn over the
+    whole run).  ``speedup`` compares the largest fleet against inline
+    execution; that ratio is CI-gated (``--min-train-speedup``) on
+    multi-core runners — on one core the workers pay IPC for the same
+    arithmetic and the recorded curve will honestly say so.
+    """
+    from .data import DataLoader
+    from .models import build_model
+    from .nn import CrossEntropyLoss
+    from .optim import SGD
+    from .training import DataParallelTrainer
+
+    rng = np.random.default_rng(7)
+    inputs = rng.standard_normal(
+        (batches * batch_size, 3, 16, 16)).astype(np.float32)
+    targets = rng.integers(0, 10, size=batches * batch_size)
+    total_samples = batches * batch_size
+
+    def measure(workers: int) -> dict:
+        model = build_model("simple_cnn", num_classes=10, neuron_type="proposed",
+                            rank=3, base_width=8, image_size=16, seed=0)
+        optimizer = SGD(model.parameters(), lr=0.01, momentum=0.9)
+        trainer = DataParallelTrainer(model, optimizer, CrossEntropyLoss(),
+                                      world_size=world_size, workers=workers,
+                                      seed=0)
+        loader = DataLoader(inputs, targets, batch_size=batch_size,
+                            shuffle=False, seed=0)
+        try:
+            timing = time_callable(lambda: trainer.train_epoch(loader),
+                                   rounds=rounds, warmup=warmup)
+        finally:
+            trainer.close()
+        timing["samples_per_second"] = total_samples / timing["mean_seconds"]
+        timing["samples_per_second_best"] = total_samples / timing["min_seconds"]
+        return timing
+
+    results = {str(workers): measure(workers) for workers in worker_counts}
+    result = {
+        "model": "simple_cnn/proposed",
+        "world_size": world_size,
+        "batch_size": batch_size,
+        "batches": batches,
+        "worker_counts": list(worker_counts),
+        "workers": results,
+    }
+    base = results[str(min(worker_counts))]
+    top = results[str(max(worker_counts))]
+    if top["mean_seconds"] > 0 and top["min_seconds"] > 0:
+        result["speedup"] = base["mean_seconds"] / top["mean_seconds"]
+        result["speedup_best"] = base["min_seconds"] / top["min_seconds"]
+    return result
+
+
 def benchmark_experiments(names: list[str], scale: str = "smoke",
                           cache_dir=None, progress=None) -> dict:
     """End-to-end wall time per experiment via the cached runner (cache bypassed).
@@ -533,7 +602,8 @@ def build_summary(figure_repros: dict, fused_ops: dict, fused_speedups: dict,
                   scale: str, started: float, inference: dict | None = None,
                   serving: dict | None = None, trace: dict | None = None,
                   pool: dict | None = None,
-                  generation: dict | None = None) -> dict:
+                  generation: dict | None = None,
+                  training: dict | None = None) -> dict:
     serving_section = dict(serving or {})
     if pool:  # the pool scaling curve rides inside the serving section
         serving_section["pool"] = pool
@@ -545,6 +615,7 @@ def build_summary(figure_repros: dict, fused_ops: dict, fused_speedups: dict,
         "serving": serving_section,
         "trace": trace or {},
         "generation": generation or {},
+        "training": training or {},
         "scale": scale,
         "targets": sorted(figure_repros),
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(started)),
@@ -678,6 +749,30 @@ def check_generate_speedup(summary: dict, minimum: float) -> list[str]:
         return [f"incremental-decode speedup = {ratio:.3f}x (best-of-rounds "
                 f"{best:.3f}x) is below the {minimum:.2f}x floor at "
                 f"max_len {generation.get('max_len')}"]
+    return []
+
+
+def check_train_speedup(summary: dict, minimum: float) -> list[str]:
+    """Regression messages when the largest worker fleet's training
+    throughput falls below ``minimum``× inline execution at the benched
+    ``world_size``.
+
+    Only meaningful on a multi-core machine (CI runners): with one core the
+    workers pay IPC for the same arithmetic and cannot win.  Like the other
+    gates, passes when *either* the mean-based or the best-of-rounds ratio
+    clears the floor.
+    """
+    training = summary.get("training", {})
+    ratio = training.get("speedup")
+    if ratio is None:
+        return ["training benchmark missing from the summary"]
+    best = training.get("speedup_best", ratio)
+    if max(ratio, best) < minimum:
+        workers = max(training.get("worker_counts", [0]))
+        return [f"data-parallel training speedup = {ratio:.3f}x "
+                f"(best-of-rounds {best:.3f}x) at {workers} workers over "
+                f"inline is below the {minimum:.2f}x floor at world_size "
+                f"{training.get('world_size')}"]
     return []
 
 

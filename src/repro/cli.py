@@ -16,6 +16,14 @@
   client threads), and the traced-replay-vs-dispatch micro-benchmark, with
   optional ``--min-fused-speedup`` / ``--min-inference-speedup`` /
   ``--min-serving-speedup`` / ``--min-trace-speedup`` CI gates.
+* ``train``   — train one registered classifier directly (outside the
+  experiment registry), optionally sharding every batch across
+  ``--world-size`` gradient shards computed by ``--train-jobs`` worker
+  processes (worker count never changes the bytes; shard count does),
+  with step-granular checkpoints (``--checkpoint-every-steps``) that make
+  the run preemptible: ``kill -9`` it, then ``--resume-from
+  DIR/last_step.npz`` replays the epoch's remaining batches
+  bit-identically.
 * ``predict`` — batched, no-grad inference on a saved model bundle (from
   a ``.npy`` file or seeded random inputs), JSON out.
 * ``generate`` — autoregressive decoding on a saved *generation* bundle
@@ -170,6 +178,17 @@ def build_parser() -> argparse.ArgumentParser:
                                    "is less than RATIO times faster than the "
                                    "full-prefix recompute decoder "
                                    "(CI perf gate)")
+    bench_parser.add_argument("--skip-train", action="store_true",
+                              help="skip the data-parallel training "
+                                   "worker-scaling micro-benchmark (spawns up "
+                                   "to 4 gradient-worker processes)")
+    bench_parser.add_argument("--min-train-speedup", type=float, default=None,
+                              metavar="RATIO",
+                              help="fail when the largest data-parallel "
+                                   "worker fleet sustains less than RATIO "
+                                   "times the single-worker samples/sec at a "
+                                   "fixed shard count (CI perf gate; needs a "
+                                   "multi-core machine)")
     bench_parser.add_argument("--skip-trace", action="store_true",
                               help="skip the traced-replay-vs-dispatch "
                                    "micro-benchmark")
@@ -180,6 +199,60 @@ def build_parser() -> argparse.ArgumentParser:
                                    "no-grad forwards at any benched batch "
                                    "size (CI perf gate)")
     bench_parser.set_defaults(handler=_command_bench)
+
+    train_parser = commands.add_parser(
+        "train", help="train one classifier with optional data-parallel "
+                      "workers and step-granular checkpoints")
+    train_parser.add_argument("--model", default="simple_cnn",
+                              help="registered model name (default: simple_cnn)")
+    train_parser.add_argument("--model-arg", action="append", default=[],
+                              metavar="KEY=VALUE", dest="model_args",
+                              help="model constructor override, JSON-decoded "
+                                   "(repeatable), e.g. --model-arg base_width=8")
+    train_parser.add_argument("--scale", default="smoke",
+                              help="scale preset for dataset/optimizer defaults "
+                                   "(default: smoke)")
+    train_parser.add_argument("--epochs", type=int, default=None,
+                              help="training epochs (default: the scale's)")
+    train_parser.add_argument("--batch-size", type=int, default=None,
+                              help="global batch size (default: the scale's)")
+    train_parser.add_argument("--seed", type=int, default=None,
+                              help="seed for data, shuffling and model init "
+                                   "(default: the scale's)")
+    train_parser.add_argument("--world-size", type=int, default=1,
+                              help="gradient shards per batch; the shard "
+                                   "count fixes the arithmetic, so results "
+                                   "are byte-identical across any "
+                                   "--train-jobs at the same --world-size "
+                                   "(default: 1 = plain sequential trainer)")
+    train_parser.add_argument("--train-jobs", type=int, default=None,
+                              metavar="N",
+                              help="gradient worker processes, capped at "
+                                   "--world-size; never changes the bytes "
+                                   "(default: one per CPU)")
+    train_parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                              help="write epoch checkpoints (and step "
+                                   "checkpoints with "
+                                   "--checkpoint-every-steps) under DIR")
+    train_parser.add_argument("--checkpoint-every-steps", type=int, default=0,
+                              metavar="K",
+                              help="also checkpoint every K optimizer steps "
+                                   "(step_NNNNNN.npz + rolling "
+                                   "last_step.npz); resume replays the "
+                                   "epoch's remaining batches bit-identically")
+    train_parser.add_argument("--resume-from", default=None, metavar="CKPT",
+                              help="resume from a checkpoint .npz (e.g. "
+                                   "DIR/last_step.npz after a kill -9)")
+    train_parser.add_argument("--no-augment", dest="augment",
+                              action="store_false",
+                              help="disable train-time augmentation")
+    train_parser.add_argument("--output", default=None, metavar="NPZ",
+                              help="final checkpoint path (default: "
+                                   "CHECKPOINT_DIR/final.npz when "
+                                   "--checkpoint-dir is given)")
+    train_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-epoch progress lines")
+    train_parser.set_defaults(handler=_command_train)
 
     predict_parser = commands.add_parser(
         "predict", help="batched no-grad inference on a saved model bundle")
@@ -480,6 +553,10 @@ def _command_bench(args) -> int:
         print("error: --skip-trace would make --min-trace-speedup a vacuous "
               "pass; drop one of the two", file=sys.stderr)
         return 2
+    if args.skip_train and args.min_train_speedup is not None:
+        print("error: --skip-train would make --min-train-speedup a vacuous "
+              "pass; drop one of the two", file=sys.stderr)
+        return 2
     names = _resolve_names(args.experiments)
     scale = get_scale(args.scale)
     cache_dir = _cache_dir(args)
@@ -508,12 +585,14 @@ def _command_bench(args) -> int:
         bench_module.trace_benchmarks(rounds=max(10, args.rounds * 3))
     generation = {} if args.skip_generate else \
         bench_module.generation_benchmarks(rounds=max(3, args.rounds // 10))
+    training = {} if args.skip_train else \
+        bench_module.training_benchmarks(rounds=max(2, args.rounds // 15))
 
     summary = bench_module.build_summary(figure_repros, fused_ops, fused_speedups,
                                          scale=scale.name, started=started,
                                          inference=inference, serving=serving,
                                          trace=trace, pool=pool,
-                                         generation=generation)
+                                         generation=generation, training=training)
     rows = [{"experiment": name, "scale": scale.name,
              "seconds": stats["mean_seconds"]}
             for name, stats in figure_repros.items()]
@@ -566,6 +645,15 @@ def _command_bench(args) -> int:
               f"{generation['reference_tokens_per_second']:>8.1f} tok/s")
         print(f"  {'generation incremental speedup':<45s} "
               f"{generation['speedup']:>11.2f}x")
+    if training:
+        for workers in training["worker_counts"]:
+            rate = training["workers"][str(workers)]["samples_per_second"]
+            label = (f"train dp({workers}) samples/sec "
+                     f"(world {training['world_size']})")
+            print(f"  {label:<45s} {rate:>8.1f} smp/s")
+        label = (f"train dp({max(training['worker_counts'])}) vs "
+                 f"dp({min(training['worker_counts'])})")
+        print(f"  {label:<45s} {training['speedup']:>11.2f}x")
 
     if args.output:
         bench_module.write_summary(summary, args.output)
@@ -623,6 +711,100 @@ def _command_bench(args) -> int:
             return 1
         print(f"KV-cached incremental decoding >= "
               f"{args.min_generate_speedup:.2f}x the full-prefix recompute")
+    if args.min_train_speedup is not None:
+        violations = bench_module.check_train_speedup(
+            summary, args.min_train_speedup)
+        if violations:
+            for violation in violations:
+                print(f"PERF REGRESSION: {violation}", file=sys.stderr)
+            return 1
+        print(f"data-parallel worker fleet >= {args.min_train_speedup:.2f}x "
+              f"the single-worker trainer at a fixed shard count")
+    return 0
+
+
+def _parse_model_args(pairs: list[str]) -> dict:
+    kwargs = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise ValueError(f"--model-arg needs KEY=VALUE, got {pair!r}")
+        try:
+            kwargs[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            kwargs[key] = raw  # bare strings may be passed unquoted
+    return kwargs
+
+
+def _command_train(args) -> int:
+    import hashlib
+
+    from . import models as _models  # noqa: F401 — populates the registry
+    from .data import DataLoader, standard_cifar_augmentation
+    from .experiments.common import (build_image_dataset, classifier_bundle_info,
+                                     make_trainer)
+    from .models.registry import build_model
+
+    scale = get_scale(args.scale)
+    seed = args.seed if args.seed is not None else scale.seed
+    epochs = args.epochs if args.epochs is not None else scale.epochs
+    batch_size = args.batch_size if args.batch_size is not None else scale.batch_size
+    dataset = build_image_dataset(scale, seed=seed)
+
+    # Scale-derived constructor defaults so `repro train` works bare; every
+    # entry is overridable (and extendable) through repeated --model-arg.
+    model_kwargs = {"num_classes": dataset.num_classes}
+    if args.model == "simple_cnn":
+        model_kwargs.update(in_channels=dataset.channels,
+                            image_size=dataset.image_size, seed=seed)
+    model_kwargs.update(_parse_model_args(args.model_args))
+    model = build_model(args.model, **model_kwargs)
+
+    augmentation = standard_cifar_augmentation(scale.augmentation_padding) \
+        if args.augment else None
+    loader = DataLoader(dataset.train_images, dataset.train_labels,
+                        batch_size=batch_size, shuffle=True,
+                        augmentation=augmentation, seed=seed)
+    trainer = make_trainer(model, scale, epochs=epochs,
+                           world_size=args.world_size,
+                           train_jobs=args.train_jobs, train_seed=seed)
+    trainer.bundle_info = classifier_bundle_info(dataset)
+
+    output = Path(args.output) if args.output else \
+        (Path(args.checkpoint_dir) / "final.npz" if args.checkpoint_dir else None)
+    try:
+        trainer.fit(loader, epochs,
+                    eval_inputs=dataset.test_images,
+                    eval_targets=dataset.test_labels,
+                    verbose=not args.quiet,
+                    checkpoint_dir=args.checkpoint_dir,
+                    checkpoint_every_steps=args.checkpoint_every_steps,
+                    resume_from=args.resume_from)
+        if output is not None:
+            output.parent.mkdir(parents=True, exist_ok=True)
+            trainer.save_checkpoint(output, loader=loader)
+        summary = {
+            "model": args.model,
+            "scale": scale.name,
+            "seed": seed,
+            "epochs": len(trainer.history),
+            "global_step": trainer.global_step,
+            "world_size": args.world_size,
+            "diverged": trainer.diverged,
+            "final": trainer.history.records[-1] if len(trainer.history) else None,
+        }
+        describe = getattr(trainer, "describe", None)
+        if describe is not None:
+            summary["distributed"] = describe()
+        if output is not None:
+            summary["checkpoint"] = str(output)
+            summary["checkpoint_sha256"] = hashlib.sha256(
+                output.read_bytes()).hexdigest()
+    finally:
+        close = getattr(trainer, "close", None)
+        if close is not None:
+            close()
+    print(json.dumps(summary, indent=2, sort_keys=True))
     return 0
 
 

@@ -78,8 +78,17 @@ def describe_image_dataset(scale: ExperimentScale, **overrides) -> dict:
 
 def make_trainer(model: Module, scale: ExperimentScale, epochs: int | None = None,
                  learning_rate: float | None = None,
-                 quadratic_learning_rate: float | None = None) -> Trainer:
-    """SGD + multi-step schedule trainer with the paper's two-group learning rates."""
+                 quadratic_learning_rate: float | None = None,
+                 world_size: int = 1, train_jobs: int | None = None,
+                 train_seed: int = 0) -> Trainer:
+    """SGD + multi-step schedule trainer with the paper's two-group learning rates.
+
+    ``world_size > 1`` returns a
+    :class:`~repro.training.DataParallelTrainer` splitting every batch into
+    that many gradient shards, executed by ``train_jobs`` worker processes
+    (the worker count never changes the bytes; the shard count does — see
+    :mod:`repro.training.distributed`).
+    """
     epochs = epochs or scale.epochs
     base_lr = learning_rate if learning_rate is not None else scale.learning_rate
     quadratic_lr = (quadratic_learning_rate if quadratic_learning_rate is not None
@@ -88,6 +97,12 @@ def make_trainer(model: Module, scale: ExperimentScale, epochs: int | None = Non
     optimizer = SGD(groups, lr=base_lr, momentum=scale.momentum,
                     weight_decay=scale.weight_decay)
     scheduler = MultiStepLR(optimizer, milestones=scale.lr_milestones(epochs), gamma=0.1)
+    if world_size > 1:
+        from ..training import DataParallelTrainer
+
+        return DataParallelTrainer(model, optimizer, CrossEntropyLoss(),
+                                   scheduler=scheduler, world_size=world_size,
+                                   workers=train_jobs, seed=train_seed)
     return Trainer(model, optimizer, CrossEntropyLoss(), scheduler=scheduler)
 
 

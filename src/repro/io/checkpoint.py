@@ -22,13 +22,22 @@ checkpoints are portable and safe to load.
 The format is versioned through :data:`CHECKPOINT_VERSION`; loading a file
 written by a *newer* format raises so stale readers fail loudly instead of
 mis-restoring state.
+
+Checkpoint files are **byte-deterministic**: the ``.npz`` container is written
+with pinned zip metadata (fixed timestamps, no compression), so saving the
+same training state twice — or reaching it twice through different execution
+paths, e.g. an N-worker data-parallel run versus its sequential twin, or a
+killed-and-resumed run versus an uninterrupted one — produces files with
+identical sha256.  CI compares checkpoints exactly this way.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import tempfile
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -36,7 +45,16 @@ import numpy as np
 __all__ = ["CHECKPOINT_VERSION", "Checkpoint", "save_checkpoint", "load_checkpoint"]
 
 #: Current checkpoint format version.  Bump when the layout changes.
-CHECKPOINT_VERSION = 1
+#: v1: epoch-boundary loader state only (shuffle/augment RNG streams).
+#: v2: the loader section may carry a mid-epoch ``cursor`` (batch index +
+#:     pre-epoch shuffle RNG) and ``extra`` carries the step-granular fields
+#:     (``step``, ``batch_index``, ``epoch_in_progress``, ``partial``).  A v2
+#:     reader loads v1 files unchanged (the new fields are simply absent).
+CHECKPOINT_VERSION = 2
+
+#: Pinned timestamp for every zip entry (the DOS-epoch floor): entry bytes
+#: depend only on the stored state, never on the wall clock.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
 
 _META_KEY = "__checkpoint__"
 _ARRAY_MARKER = "__ndarray__"
@@ -67,6 +85,26 @@ def _resolve(value, arrays: dict[int, np.ndarray]):
     return value
 
 
+def _write_npz(stream, payload: dict[str, np.ndarray]) -> None:
+    """Write ``payload`` as a deterministic uncompressed ``.npz``.
+
+    ``np.savez`` stamps every zip entry with the current time, which would
+    make two byte-identical states hash differently.  This writer produces
+    the same container format (``<key>.npy`` entries readable by
+    ``np.load``) with the timestamp pinned to the DOS epoch, so checkpoint
+    bytes are a pure function of the stored state.
+    """
+    with zipfile.ZipFile(stream, "w", zipfile.ZIP_STORED) as archive:
+        for key, array in payload.items():
+            buffer = io.BytesIO()
+            np.lib.format.write_array(buffer, np.asarray(array),
+                                      allow_pickle=False)
+            info = zipfile.ZipInfo(f"{key}.npy", date_time=_ZIP_EPOCH)
+            info.compress_type = zipfile.ZIP_STORED
+            info.external_attr = 0o600 << 16
+            archive.writestr(info, buffer.getvalue())
+
+
 def save_checkpoint(path, *, model=None, optimizer=None, scheduler=None,
                     loader=None, history=None, rng=None, extra: dict | None = None,
                     bundle: dict | None = None,
@@ -81,8 +119,10 @@ def save_checkpoint(path, *, model=None, optimizer=None, scheduler=None,
     :mod:`repro.io.bundle` (model spec + serving metadata), which makes the
     checkpoint loadable by :func:`repro.io.load_bundle` without knowing the
     architecture in advance.
-    The write is atomic (temp file + rename) so an interrupted save never
-    corrupts an existing checkpoint.
+    The write is atomic (unique temp file + fsync + rename) so an interrupted
+    save never corrupts an existing checkpoint, and the bytes are
+    deterministic (see :func:`_write_npz`) so identical states hash
+    identically.
     """
     sections: dict = {}
     if model is not None:
@@ -116,7 +156,7 @@ def save_checkpoint(path, *, model=None, optimizer=None, scheduler=None,
                                              prefix=path.name + ".", suffix=".tmp")
     try:
         with os.fdopen(descriptor, "wb") as stream:
-            np.savez(stream, **payload)
+            _write_npz(stream, payload)
             stream.flush()
             os.fsync(stream.fileno())
         os.replace(temp_name, path)

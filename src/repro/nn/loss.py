@@ -12,32 +12,48 @@ __all__ = ["CrossEntropyLoss", "LabelSmoothingLoss", "MSELoss"]
 
 
 class CrossEntropyLoss(Module):
-    """Mean cross-entropy over integer class targets.
+    """Cross-entropy over integer class targets (mean by default).
 
     ``ignore_index`` masks padding positions in sequence-to-sequence training.
+    ``reduction="sum"`` skips the normalization — data-parallel gradient
+    workers use it so per-shard losses add exactly before the parent divides
+    by the global batch size once.
     """
 
-    def __init__(self, label_smoothing: float = 0.0, ignore_index: int | None = None):
+    def __init__(self, label_smoothing: float = 0.0, ignore_index: int | None = None,
+                 reduction: str = "mean"):
         super().__init__()
+        if reduction not in ("mean", "sum"):
+            raise ValueError(f"reduction must be 'mean' or 'sum', got {reduction!r}")
         self.label_smoothing = label_smoothing
         self.ignore_index = ignore_index
+        self.reduction = reduction
 
     def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
         return F.cross_entropy_with_logits(
             logits, targets,
             label_smoothing=self.label_smoothing,
-            ignore_index=self.ignore_index)
+            ignore_index=self.ignore_index,
+            reduction=self.reduction)
 
 
 class LabelSmoothingLoss(CrossEntropyLoss):
     """Cross-entropy with the label smoothing used for Transformer training."""
 
-    def __init__(self, smoothing: float = 0.1, ignore_index: int | None = None):
-        super().__init__(label_smoothing=smoothing, ignore_index=ignore_index)
+    def __init__(self, smoothing: float = 0.1, ignore_index: int | None = None,
+                 reduction: str = "mean"):
+        super().__init__(label_smoothing=smoothing, ignore_index=ignore_index,
+                         reduction=reduction)
 
 
 class MSELoss(Module):
-    """Mean squared error."""
+    """Mean (or, with ``reduction="sum"``, summed) squared error."""
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        if reduction not in ("mean", "sum"):
+            raise ValueError(f"reduction must be 'mean' or 'sum', got {reduction!r}")
+        self.reduction = reduction
 
     def forward(self, prediction: Tensor, target) -> Tensor:
-        return F.mse_loss(prediction, target)
+        return F.mse_loss(prediction, target, reduction=self.reduction)

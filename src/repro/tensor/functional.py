@@ -104,14 +104,23 @@ def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float32) -> np.ndarra
 
 def cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,
                               label_smoothing: float = 0.0,
-                              ignore_index: int | None = None) -> Tensor:
-    """Mean cross-entropy between ``logits`` and integer ``targets``.
+                              ignore_index: int | None = None,
+                              reduction: str = "mean") -> Tensor:
+    """Cross-entropy between ``logits`` and integer ``targets``.
 
     ``logits`` has shape ``(..., num_classes)`` and ``targets`` the matching
     leading shape.  ``label_smoothing`` follows the standard formulation used
     for Transformer training.  Positions equal to ``ignore_index`` contribute
     nothing to the loss (used to mask padding in sequence models).
+
+    ``reduction="mean"`` (the default) divides the summed loss by the number
+    of unmasked positions; ``"sum"`` returns the raw sum, which is what
+    data-parallel gradient workers need — per-shard loss *sums* add exactly,
+    so the parent can apply the mean's normalization once over the global
+    batch instead of once per shard.
     """
+    if reduction not in ("mean", "sum"):
+        raise ValueError(f"reduction must be 'mean' or 'sum', got {reduction!r}")
     num_classes = logits.shape[-1]
     targets = np.asarray(targets, dtype=np.int64)
     log_probs = log_softmax(logits, axis=-1)
@@ -124,14 +133,29 @@ def cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,
     if ignore_index is not None:
         mask = (targets != ignore_index).astype(logits.dtype)
         target_dist = target_dist * mask[..., None]
-    denominator = float(mask.sum()) if mask.sum() > 0 else 1.0
 
     per_position = -(log_probs * Tensor(target_dist)).sum(axis=-1)
-    return per_position.sum() * (1.0 / denominator)
+    total = per_position.sum()
+    if reduction == "sum":
+        return total
+    denominator = float(mask.sum()) if mask.sum() > 0 else 1.0
+    return total * (1.0 / denominator)
 
 
-def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
-    """Mean squared error between ``prediction`` and ``target``."""
+def cross_entropy_weight(targets: np.ndarray, ignore_index: int | None = None) -> float:
+    """The normalization a mean cross-entropy would divide by: unmasked positions."""
+    targets = np.asarray(targets)
+    if ignore_index is None:
+        return float(targets.size)
+    return float((targets != ignore_index).sum())
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray,
+             reduction: str = "mean") -> Tensor:
+    """Mean (or summed, with ``reduction="sum"``) squared error."""
+    if reduction not in ("mean", "sum"):
+        raise ValueError(f"reduction must be 'mean' or 'sum', got {reduction!r}")
     target = target if isinstance(target, Tensor) else Tensor(target)
     diff = prediction - target.detach()
-    return (diff * diff).mean()
+    squared = diff * diff
+    return squared.sum() if reduction == "sum" else squared.mean()

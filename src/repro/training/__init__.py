@@ -1,7 +1,9 @@
-"""Training harnesses: classification trainer, seq2seq trainer, history records."""
+"""Training harnesses: classification, data-parallel and seq2seq trainers."""
 
 from .history import History
 from .trainer import Trainer
+from .distributed import DataParallelTrainer, DistributedTrainingError, shard_bounds
 from .seq2seq import Seq2SeqTrainer
 
-__all__ = ["History", "Trainer", "Seq2SeqTrainer"]
+__all__ = ["History", "Trainer", "DataParallelTrainer",
+           "DistributedTrainingError", "shard_bounds", "Seq2SeqTrainer"]

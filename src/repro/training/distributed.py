@@ -1,0 +1,469 @@
+"""Preemptible data-parallel training with crash-tolerant gradient workers.
+
+:class:`DataParallelTrainer` extends :class:`~repro.training.Trainer` with
+data parallelism built around one load-bearing distinction:
+
+* ``world_size`` — how many contiguous shards every global batch is split
+  into.  **This defines the arithmetic.**  Each shard's loss and gradient
+  *sums* are computed independently, then reduced in rank order and
+  normalized once by the global batch weight.
+* ``workers`` — how many processes execute those shards.  **This is a pure
+  execution detail.**  Shards run through the *same* function
+  (:func:`~repro.training.dp_worker.compute_shard_gradients`) on the *same*
+  arrays whether they execute inline in the parent (``workers=1``) or on
+  spawned worker processes (``workers>1``), and the parent-side reduction is
+  the same rank-ordered code in both modes — so for a fixed ``world_size``,
+  training is **byte-identical across any worker count**, which is the
+  reproducibility contract CI pins (checkpoint sha256 equality between
+  ``--train-jobs 1`` and ``--train-jobs 2``).
+
+``world_size=1`` delegates every step to the plain :class:`Trainer` math and
+is therefore trivially byte-identical to single-process training.  A fixed
+``world_size > 1`` is *not* byte-identical to ``world_size=1`` — splitting a
+batch reduction into per-shard partial sums regroups floating-point
+additions, and BLAS reductions do not associate — so the shard count is an
+explicit, recorded hyperparameter of the run rather than something the
+machine size silently chooses.  (Same honest boundary as the serving stack's
+"aligned batches" caveat: we promise exactly what the arithmetic can
+deliver.)
+
+Fault tolerance follows the pool engine's isolate-and-retry playbook: every
+step message carries the parent's full ``state_dict`` (the authoritative
+broadcast), so a worker that dies mid-step — crash, OOM, ``kill -9`` — is
+respawned, re-seeded via ``derive_seed(seed, "train-dp", rank)``, and the
+in-flight shard is retried exactly once on the fresh process.  Because
+workers are stateless between steps, the retry computes the same bytes the
+dead worker would have; a second death raises
+:class:`DistributedTrainingError`.
+
+Nested parallelism degrades instead of exploding: under a sweep worker
+(``REPRO_PARALLEL_DEPTH`` set), the trainer clamps to inline execution —
+same ``world_size``, same bytes, no grandchild processes.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from multiprocessing import get_context
+
+import numpy as np
+
+from ..data.dataloader import DataLoader
+from ..nn.module import Module
+from ..optim.lr_scheduler import LRScheduler
+from ..optim.optimizer import Optimizer
+from ..parallel.executor import START_METHOD_ENV, parallel_depth
+from .dp_worker import build_sum_loss, compute_shard_gradients, loss_spec_of, worker_main
+from .trainer import Trainer
+
+__all__ = ["DistributedTrainingError", "DataParallelTrainer", "shard_bounds"]
+
+
+class DistributedTrainingError(RuntimeError):
+    """A data-parallel worker could not be started, or died twice on one step."""
+
+
+class _WorkerDied(Exception):
+    """Internal: a worker was found dead before/while talking to it."""
+
+    def __init__(self, exitcode):
+        super().__init__(f"worker process is dead (exitcode {exitcode})")
+        self.exitcode = exitcode
+
+
+def shard_bounds(total: int, world_size: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, end)`` row bounds splitting ``total`` rows into shards.
+
+    Balanced: with ``total = q * world_size + r``, the first ``r`` shards get
+    ``q + 1`` rows and the rest ``q`` — so shard sizes differ by at most one,
+    every row lands in exactly one shard, and the bounds depend only on
+    ``(total, world_size)``, never on the worker count.  When ``total <
+    world_size`` the tail shards are empty (``start == end``) and contribute
+    nothing to the reduction.
+    """
+    if world_size < 1:
+        raise ValueError(f"world_size must be >= 1, got {world_size}")
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    base, remainder = divmod(total, world_size)
+    bounds = []
+    start = 0
+    for rank in range(world_size):
+        size = base + (1 if rank < remainder else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+class _WorkerHandle:
+    """Parent-side handle for one gradient worker: pipe, liveness, counters."""
+
+    __slots__ = ("rank", "process", "conn", "info", "restarts", "lock")
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.process = None
+        self.conn = None
+        self.info: dict = {}
+        self.restarts = 0
+        # Serializes pipe access between the dispatching thread that owns
+        # this worker for the current step and out-of-band shutdown.
+        self.lock = threading.Lock()
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class DataParallelTrainer(Trainer):
+    """Data-parallel :class:`Trainer`: shard every batch, reduce gradient sums.
+
+    Parameters
+    ----------
+    world_size:
+        Number of contiguous gradient shards per global batch — the
+        arithmetic-defining knob.  ``1`` delegates to plain :class:`Trainer`
+        math.
+    workers:
+        Number of worker processes (default: one per CPU, capped at
+        ``world_size``).  Purely an execution knob: any value produces the
+        same bytes for the same ``world_size``.  Clamped to ``1`` (inline)
+        inside sweep workers.  ``workers > 1`` requires a registry-built
+        model (workers rebuild the architecture from ``model.model_spec``)
+        and a loss with a known sum decomposition.
+    seed:
+        Root seed for worker identity: rank *r* is seeded with
+        ``derive_seed(seed, "train-dp", r)``.
+
+    The remaining parameters are inherited from :class:`Trainer`; so are
+    ``fit``/``checkpoint_every_steps``/``resume_from`` — step-granular
+    preemption composes with data parallelism unchanged, because
+    checkpoints see only the reduced (worker-count-independent) state.
+    """
+
+    def __init__(self, model: Module, optimizer: Optimizer, loss_fn,
+                 scheduler: LRScheduler | None = None, grad_clip: float | None = None,
+                 divergence_threshold: float = 1e4, *, world_size: int = 2,
+                 workers: int | None = None, seed: int = 0):
+        super().__init__(model, optimizer, loss_fn, scheduler=scheduler,
+                         grad_clip=grad_clip,
+                         divergence_threshold=divergence_threshold)
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = int(world_size)
+        self.seed = int(seed)
+        self.restarts = 0
+        self.degraded = False
+        self._closed = False
+        self._worker_handles: list[_WorkerHandle] = []
+        self._context = None
+        if self.world_size == 1:
+            self.workers = 1
+            return
+        try:
+            self._loss_spec = loss_spec_of(loss_fn)
+        except ValueError as error:
+            raise DistributedTrainingError(str(error)) from error
+        self._sum_loss, self._weight_fn = build_sum_loss(self._loss_spec)
+        requested = workers if workers is not None else (os.cpu_count() or 1)
+        resolved = max(1, min(int(requested), self.world_size))
+        if resolved > 1 and parallel_depth() > 0:
+            # Inside a sweep worker: degrade to inline execution instead of
+            # spawning grandchildren.  Same world_size, same bytes.
+            resolved = 1
+            self.degraded = True
+        if resolved > 1 and getattr(model, "model_spec", None) is None:
+            raise DistributedTrainingError(
+                f"{type(model).__name__} has no model_spec; worker processes "
+                f"rebuild the architecture by registry spec — register the "
+                f"model with repro.models.register_model, or run with "
+                f"workers=1 (inline, byte-identical)")
+        self.workers = resolved
+        if self.workers > 1:
+            self._context = get_context(os.environ.get(START_METHOD_ENV, "spawn"))
+
+    # -- worker lifecycle ------------------------------------------------------
+
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        """Start (or restart) one gradient worker and wait for its ready ack."""
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=worker_main,
+            args=(handle.rank, child_conn, {
+                "model_spec": self.model.model_spec,
+                "loss_spec": self._loss_spec,
+                "seed": self.seed,
+                "depth": parallel_depth() + 1,
+            }),
+            name=f"repro-dp-{handle.rank}",
+            daemon=True)
+        process.start()
+        child_conn.close()  # the child holds its own copy
+        try:
+            reply = parent_conn.recv()
+        except (EOFError, OSError) as error:
+            process.join(1.0)
+            parent_conn.close()
+            raise DistributedTrainingError(
+                f"gradient worker {handle.rank} died before answering ready "
+                f"(exitcode {process.exitcode})") from error
+        if reply[0] != "ready":
+            process.join(1.0)
+            parent_conn.close()
+            raise DistributedTrainingError(
+                f"gradient worker {handle.rank} failed to start: "
+                f"{reply[1]}\n{reply[2]}")
+        handle.process = process
+        handle.conn = parent_conn
+        handle.info = reply[1]
+
+    def _discard(self, handle: _WorkerHandle) -> None:
+        """Isolate a dead/suspect worker: close its pipe, reap the process."""
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.conn = None
+        if handle.process is not None:
+            if handle.process.is_alive():
+                handle.process.terminate()
+            handle.process.join(2.0)
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(2.0)
+            handle.process = None
+
+    def _respawn(self, handle: _WorkerHandle) -> None:
+        """Isolate-and-retry step 1: replace a dead worker with a fresh one."""
+        self._discard(handle)
+        self._spawn(handle)
+        handle.restarts += 1
+        self.restarts += 1
+
+    def _ensure_workers(self) -> None:
+        """Lazily spawn the worker fleet on the first remote step."""
+        if self._closed:
+            raise DistributedTrainingError("trainer is closed")
+        if self._worker_handles:
+            return
+        handles = [_WorkerHandle(index) for index in range(self.workers)]
+        try:
+            for handle in handles:
+                self._spawn(handle)
+        except BaseException:
+            for handle in handles:
+                self._discard(handle)
+            raise
+        self._worker_handles = handles
+
+    def close(self) -> None:
+        """Stop the worker processes (``stop`` first, escalating to kill)."""
+        self._closed = True
+        for handle in self._worker_handles:
+            with handle.lock:
+                if handle.conn is not None:
+                    try:
+                        handle.conn.send(("stop",))
+                    except (BrokenPipeError, ConnectionError, OSError):
+                        pass
+                self._discard(handle)
+        self._worker_handles = []
+
+    def __enter__(self) -> "DataParallelTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the sharded step ------------------------------------------------------
+
+    def _optimize_batch(self, batch_inputs, batch_targets):
+        """One data-parallel step: shard, compute, rank-ordered reduce, apply.
+
+        Identical reduction code runs over the shard results regardless of
+        how they were computed (inline or remote), which is what makes the
+        worker count numerically invisible.
+        """
+        if self.world_size == 1:
+            return super()._optimize_batch(batch_inputs, batch_targets)
+        self.optimizer.zero_grad()
+        bounds = shard_bounds(len(batch_targets), self.world_size)
+        if self.workers > 1:
+            results = self._compute_shards_remote(batch_inputs, batch_targets, bounds)
+        else:
+            results = self._compute_shards_inline(batch_inputs, batch_targets, bounds)
+        live = [result for result in results if result is not None]
+
+        # Rank-ordered scalar reduction: shard loss *sums* add exactly; the
+        # mean's normalization is applied once, over the global weight.
+        loss_sum = 0.0
+        weight = 0.0
+        for result in live:
+            loss_sum += result["loss_sum"]
+            weight += result["weight"]
+        loss_value = loss_sum / max(weight, 1.0)
+        predictions = (np.concatenate([result["predictions"] for result in live])
+                       if live else np.empty(0, dtype=np.int64))
+
+        # Rank-0 buffer authority (the DDP convention): every shard saw the
+        # pre-batch running stats; the model keeps rank 0's post-batch ones.
+        # Applied even on a diverged step — the plain Trainer's forward also
+        # mutates buffers before its divergence check.
+        if live and live[0]["buffers"]:
+            self.model.load_state_dict(live[0]["buffers"], strict=False)
+        if not math.isfinite(loss_value) or loss_value > self.divergence_threshold:
+            return loss_value, predictions, False
+
+        # Rank-ordered gradient reduction: accumulate shard sums in shard
+        # order, then divide by the global weight once.  Order and grouping
+        # are fixed by this loop, not by which process produced each term.
+        for index, (_, parameter) in enumerate(self.model.named_parameters()):
+            accumulated = live[0]["grads"][index].copy()
+            for result in live[1:]:
+                accumulated += result["grads"][index]
+            parameter.grad = accumulated / accumulated.dtype.type(weight)
+
+        if self.grad_clip is not None:
+            self.optimizer.clip_grad_norm(self.grad_clip)
+        self.optimizer.step()
+        return loss_value, predictions, True
+
+    def _batch_accuracy(self, logits, batch_targets) -> float:
+        """Accuracy from the rank-ordered predictions the sharded step returns.
+
+        Per-row argmax is row-local, so the concatenated shard predictions
+        equal the full-batch argmax exactly — training accuracy matches the
+        plain Trainer's bitwise even though the loss normalization differs.
+        """
+        if self.world_size == 1:
+            return super()._batch_accuracy(logits, batch_targets)
+        return float((logits == np.asarray(batch_targets)).mean())
+
+    def _compute_shards_inline(self, batch_inputs, batch_targets, bounds) -> list:
+        """Run every shard sequentially on the parent's own model.
+
+        Buffers are reset to the pre-batch snapshot before each shard so
+        every shard observes the same starting state a worker process would
+        (workers get the pre-batch ``state_dict`` in their step message).
+        """
+        pre_buffers = {key: value for key, value in self.model.state_dict().items()
+                       if key.startswith("buffer::")}
+        results = []
+        for start, end in bounds:
+            if start == end:
+                results.append(None)
+                continue
+            if pre_buffers:
+                self.model.load_state_dict(pre_buffers, strict=False)
+            results.append(compute_shard_gradients(
+                self.model, self._sum_loss, self._weight_fn,
+                batch_inputs[start:end], batch_targets[start:end]))
+        return results
+
+    def _compute_shards_remote(self, batch_inputs, batch_targets, bounds) -> list:
+        """Fan the shards out across the worker fleet, round-robin by rank.
+
+        Worker *w* computes shards ``w, w + workers, w + 2*workers, ...`` —
+        an assignment that only affects *where* each shard runs, never the
+        reduction order.  Each dispatching thread drives one worker; any
+        shard failure (after the one respawn-and-retry) aborts the step.
+        """
+        self._ensure_workers()
+        state = self.model.state_dict()
+        results: list = [None] * len(bounds)
+        errors: list[BaseException] = []
+
+        def dispatch(handle: _WorkerHandle, ranks: list[int]) -> None:
+            for rank in ranks:
+                start, end = bounds[rank]
+                if start == end:
+                    continue
+                try:
+                    results[rank] = self._run_shard(
+                        handle, state, batch_inputs[start:end],
+                        batch_targets[start:end])
+                except BaseException as error:  # noqa: BLE001 — re-raised below
+                    errors.append(error)
+                    return
+
+        threads = []
+        for index, handle in enumerate(self._worker_handles):
+            ranks = list(range(index, len(bounds), len(self._worker_handles)))
+            if not ranks:
+                continue
+            thread = threading.Thread(target=dispatch, args=(handle, ranks),
+                                      name=f"repro-dp-dispatch-{index}",
+                                      daemon=True)
+            threads.append(thread)
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results
+
+    def _run_shard(self, handle: _WorkerHandle, state, inputs, targets) -> dict:
+        """One shard on one worker, with isolate-and-retry on worker death.
+
+        A broken pipe (killed, crashed, OOMed worker) triggers the pool
+        playbook: respawn and retry the shard exactly once on the fresh
+        process — safe because the step message carries the authoritative
+        parameters, so the retry computes the same bytes.  A *model* error
+        inside a healthy worker is raised immediately and never retried (it
+        would fail identically everywhere).
+        """
+        for attempt in (1, 2):
+            try:
+                with handle.lock:
+                    if not handle.alive:  # found dead before sending
+                        raise _WorkerDied(handle.process.exitcode
+                                          if handle.process else None)
+                    handle.conn.send(("step", state, inputs, targets,
+                                      self.model.training))
+                    reply = handle.conn.recv()
+            except (_WorkerDied, EOFError, BrokenPipeError, ConnectionError,
+                    OSError) as error:
+                if self._closed:
+                    raise DistributedTrainingError(
+                        "trainer closed while a shard was in flight") from error
+                if attempt == 2:
+                    raise DistributedTrainingError(
+                        f"gradient worker {handle.rank} died twice running the "
+                        f"same shard (retried once on a respawned worker)") from error
+                try:  # isolate-and-retry: fresh worker, one more attempt
+                    with handle.lock:
+                        self._respawn(handle)
+                except DistributedTrainingError as spawn_error:
+                    raise DistributedTrainingError(
+                        f"gradient worker {handle.rank} died and could not be "
+                        f"respawned: {spawn_error}") from spawn_error
+                continue
+            if reply[0] == "ok":
+                return reply[1]
+            # ("error", message, traceback): the model raised remotely.
+            raise DistributedTrainingError(
+                f"gradient worker {handle.rank} step failed: {reply[1]}\n"
+                f"--- worker traceback ---\n{reply[2]}")
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- introspection ---------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Identity facts the determinism and fault-tolerance tests pin."""
+        return {
+            "world_size": self.world_size,
+            "workers": self.workers,
+            "degraded": self.degraded,
+            "restarts": self.restarts,
+            "per_worker": [{
+                "rank": handle.rank,
+                "pid": handle.info.get("pid"),
+                "alive": handle.alive,
+                "seed": handle.info.get("seed"),
+                "depth": handle.info.get("depth"),
+                "restarts": handle.restarts,
+            } for handle in self._worker_handles],
+        }

@@ -30,6 +30,30 @@ from .history import History
 __all__ = ["Trainer"]
 
 
+def _atomic_copy(source: Path, destination: Path) -> None:
+    """Publish a byte copy of ``source`` at ``destination`` atomically.
+
+    Unique temp name + fsync + rename — the same discipline as
+    :func:`repro.io.checkpoint.save_checkpoint` — so concurrent trainers
+    sharing a checkpoint_dir never interleave into one file and a crash can
+    never publish a torn copy.
+    """
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=destination.parent, prefix=destination.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "wb") as stream, open(source, "rb") as origin:
+            shutil.copyfileobj(origin, stream)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_name, destination)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
 class Trainer:
     """Supervised training loop for classification models.
 
@@ -63,6 +87,13 @@ class Trainer:
         self.best_metric: float | None = None
         self.best_epoch: int | None = None
         self.stopped_early = False
+        #: Optimization steps taken across the whole run (survives resume).
+        self.global_step = 0
+        # Step-granular checkpointing, armed by fit(checkpoint_every_steps=).
+        self._step_checkpoint_dir: Path | None = None
+        self._step_checkpoint_every = 0
+        # Mid-epoch resume state stashed by load_checkpoint for fit().
+        self._pending_partial: dict | None = None
         #: Serving metadata embedded in every checkpoint's bundle section when
         #: the model carries a registry spec: normalization stats, class
         #: labels, input shape (see :func:`repro.io.bundle.bundle_section`).
@@ -88,26 +119,68 @@ class Trainer:
         self.optimizer.step()
         return loss_value, logits, True
 
-    def train_epoch(self, loader: DataLoader) -> dict:
-        """Run one epoch of optimization; returns mean loss and accuracy."""
+    def _batch_accuracy(self, logits, batch_targets) -> float:
+        """Per-batch training accuracy from whatever :meth:`_optimize_batch` returned.
+
+        Subclasses that do not carry full-batch logits through the step (the
+        data-parallel trainer returns rank-ordered predictions instead)
+        override this alongside :meth:`_optimize_batch`.
+        """
+        return accuracy(logits, batch_targets)
+
+    def train_epoch(self, loader: DataLoader, *, epoch: int | None = None,
+                    start_totals: dict | None = None) -> dict:
+        """Run one epoch of optimization; returns mean loss and accuracy.
+
+        ``epoch`` (1-based, supplied by :meth:`fit`) and ``start_totals`` (the
+        partial-epoch accumulators restored from a step checkpoint) exist for
+        step-granular checkpoint/resume: a resumed epoch continues both the
+        loader's batch cursor and these running sums, so its final metrics are
+        bit-identical to the uninterrupted epoch's.
+        """
         self.model.train()
-        total_loss = 0.0
-        total_correct = 0.0
-        total_examples = 0
+        totals = {"loss": 0.0, "correct": 0.0, "examples": 0, "batches": 0}
+        if start_totals:
+            totals.update(start_totals)
         for batch_inputs, batch_targets in loader:
             loss_value, logits, stepped = self._optimize_batch(batch_inputs, batch_targets)
             if not stepped:
                 self.diverged = True
-                total_loss += loss_value if math.isfinite(loss_value) else float("inf")
-                total_examples += len(batch_targets)
+                totals["loss"] += loss_value if math.isfinite(loss_value) else float("inf")
+                totals["examples"] += len(batch_targets)
                 break
             batch_size = len(batch_targets)
-            total_loss += loss_value * batch_size
-            total_correct += accuracy(logits, batch_targets) * batch_size
-            total_examples += batch_size
-        mean_loss = total_loss / max(total_examples, 1)
-        mean_accuracy = total_correct / max(total_examples, 1)
+            totals["loss"] += loss_value * batch_size
+            totals["correct"] += self._batch_accuracy(logits, batch_targets) * batch_size
+            totals["examples"] += batch_size
+            totals["batches"] += 1
+            self.global_step += 1
+            self._maybe_step_checkpoint(loader, epoch, totals)
+        mean_loss = totals["loss"] / max(totals["examples"], 1)
+        mean_accuracy = totals["correct"] / max(totals["examples"], 1)
         return {"loss": mean_loss, "accuracy": mean_accuracy, "diverged": self.diverged}
+
+    def _maybe_step_checkpoint(self, loader: DataLoader, epoch: int | None,
+                               totals: dict) -> None:
+        """Write ``step_<k>.npz`` + rolling ``last_step.npz`` when the step counter says so.
+
+        The checkpoint carries ``(epoch, batch_index)``, the loader's
+        mid-epoch cursor (via ``loader.state_dict()``) and the partial-epoch
+        metric sums, so :meth:`fit` can resume from it and replay the rest of
+        the epoch bit-identically.
+        """
+        if not self._step_checkpoint_every or self._step_checkpoint_dir is None:
+            return
+        if self.global_step % self._step_checkpoint_every:
+            return
+        epoch = epoch if epoch is not None else len(self.history) + 1
+        path = self.save_checkpoint(
+            self._step_checkpoint_dir / f"step_{self.global_step:06d}.npz",
+            loader, epoch=epoch - 1,
+            extra={"batch_index": totals["batches"],
+                   "epoch_in_progress": epoch,
+                   "partial": dict(totals)})
+        _atomic_copy(path, self._step_checkpoint_dir / "last_step.npz")
 
     # -- profiling ----------------------------------------------------------------
 
@@ -158,15 +231,27 @@ class Trainer:
     # -- checkpointing -------------------------------------------------------------
 
     def save_checkpoint(self, path, loader: DataLoader | None = None,
-                        epoch: int | None = None) -> Path:
+                        epoch: int | None = None, extra: dict | None = None) -> Path:
         """Write the full training state (model/optimizer/scheduler/loader/history).
 
         When the model was built through the registry, the checkpoint also
         embeds a self-describing bundle section (model spec +
         :attr:`bundle_info`), so ``best.npz``/``last.npz`` are directly
         loadable by :func:`repro.io.load_bundle` and servable without any
-        knowledge of the producing experiment.
+        knowledge of the producing experiment.  ``extra`` overlays the default
+        bookkeeping section — the step-checkpoint path uses it to record
+        ``(epoch_in_progress, batch_index)`` and the partial-epoch sums.
         """
+        payload = {
+            "epoch": epoch if epoch is not None else len(self.history),
+            "step": self.global_step,
+            "diverged": self.diverged,
+            "divergence_epoch": self.divergence_epoch,
+            "best_metric": self.best_metric,
+            "best_epoch": self.best_epoch,
+        }
+        if extra:
+            payload.update(extra)
         return save_checkpoint(
             path,
             model=self.model,
@@ -175,13 +260,7 @@ class Trainer:
             loader=loader,
             history=self.history,
             bundle=bundle_section(self.model, self.bundle_info),
-            extra={
-                "epoch": epoch if epoch is not None else len(self.history),
-                "diverged": self.diverged,
-                "divergence_epoch": self.divergence_epoch,
-                "best_metric": self.best_metric,
-                "best_epoch": self.best_epoch,
-            })
+            extra=payload)
 
     def load_checkpoint(self, path, loader: DataLoader | None = None) -> int:
         """Restore training state saved by :meth:`save_checkpoint`.
@@ -199,11 +278,28 @@ class Trainer:
         checkpoint.restore(model=self.model, optimizer=self.optimizer,
                            scheduler=self.scheduler, loader=loader)
         self.history = checkpoint.history()
+        # Adopt the checkpoint's model spec as provenance: the restored
+        # weights originate from *that* run (its init seed included), so
+        # checkpoints written after resume must embed the same bundle section
+        # as the uninterrupted run — byte-identity depends on it.
+        bundle = checkpoint.get("bundle")
+        if bundle is not None and hasattr(self.model, "model_spec"):
+            self.model.model_spec = bundle["spec"]
         extra = checkpoint.extra
         self.diverged = bool(extra.get("diverged", False))
         self.divergence_epoch = extra.get("divergence_epoch")
         self.best_metric = extra.get("best_metric")
         self.best_epoch = extra.get("best_epoch")
+        self.global_step = int(extra.get("step", 0))
+        # A step checkpoint (mid-epoch) carries the in-progress epoch and the
+        # partial metric sums; fit() consumes this to finish that epoch.
+        if extra.get("batch_index") is not None:
+            self._pending_partial = {
+                "epoch": int(extra["epoch_in_progress"]),
+                "totals": dict(extra.get("partial") or {}),
+            }
+        else:
+            self._pending_partial = None
         return int(extra.get("epoch", len(self.history)))
 
     # -- full loop -----------------------------------------------------------------
@@ -212,6 +308,7 @@ class Trainer:
             eval_inputs: np.ndarray | None = None, eval_targets: np.ndarray | None = None,
             stop_on_divergence: bool = True, verbose: bool = False,
             checkpoint_dir: str | Path | None = None, checkpoint_every: int = 0,
+            checkpoint_every_steps: int = 0,
             resume_from: str | Path | None = None, monitor: str | None = None,
             monitor_mode: str | None = None, early_stopping_patience: int | None = None,
             min_delta: float = 0.0) -> History:
@@ -222,9 +319,16 @@ class Trainer:
         With ``checkpoint_dir`` set, ``checkpoint_every`` > 0 writes
         ``epoch_<k>.npz`` plus a rolling ``last.npz`` every N epochs, and the
         best epoch under the monitored metric is saved as ``best.npz``.
-        ``resume_from`` restores a checkpoint (including the loader's RNG
-        streams) and continues from the following epoch; a resumed run
-        reproduces the uninterrupted run's history bit-identically.
+        ``checkpoint_every_steps`` > 0 additionally writes ``step_<k>.npz``
+        plus a rolling ``last_step.npz`` every N optimization steps, carrying
+        ``(epoch, batch_index)``, the loader's mid-epoch cursor and the
+        partial-epoch metric sums.  ``resume_from`` restores either kind:
+        an epoch checkpoint continues from the following epoch, a step
+        checkpoint finishes the interrupted epoch from its recorded batch —
+        in both cases the resumed run reproduces the uninterrupted run's
+        history and final checkpoints *bit-identically* (a ``kill -9`` at any
+        step loses at most ``checkpoint_every_steps`` batches of work and
+        zero reproducibility).
 
         Best tracking / early stopping
         ------------------------------
@@ -234,15 +338,21 @@ class Trainer:
         ``early_stopping_patience`` set, training stops after that many epochs
         without an improvement larger than ``min_delta``.
         """
+        if checkpoint_every_steps and checkpoint_dir is None:
+            raise ValueError("checkpoint_every_steps requires checkpoint_dir")
         self.stopped_early = False
         start_epoch = 0
+        pending = None
         if resume_from is not None:
             start_epoch = self.load_checkpoint(resume_from, loader=train_loader)
+            pending = self._pending_partial
+            self._pending_partial = None
         else:
             # A fresh (non-resumed) fit must not inherit best-tracking state
             # from a previous stage on the same trainer.
             self.best_metric = None
             self.best_epoch = None
+            self.global_step = 0
         has_eval = eval_inputs is not None and eval_targets is not None
         if monitor is None:
             monitor = "eval_accuracy" if has_eval else "train_loss"
@@ -250,9 +360,31 @@ class Trainer:
         if checkpoint_dir is not None:
             checkpoint_dir = Path(checkpoint_dir)
             checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        if checkpoint_every_steps:
+            self._step_checkpoint_dir = checkpoint_dir
+            self._step_checkpoint_every = int(checkpoint_every_steps)
 
+        try:
+            return self._fit_loop(train_loader, epochs, start_epoch, pending,
+                                  eval_inputs, eval_targets, has_eval,
+                                  stop_on_divergence, verbose, checkpoint_dir,
+                                  checkpoint_every, monitor, mode,
+                                  early_stopping_patience, min_delta)
+        finally:
+            self._step_checkpoint_dir = None
+            self._step_checkpoint_every = 0
+
+    def _fit_loop(self, train_loader, epochs, start_epoch, pending,
+                  eval_inputs, eval_targets, has_eval, stop_on_divergence,
+                  verbose, checkpoint_dir, checkpoint_every, monitor, mode,
+                  early_stopping_patience, min_delta) -> History:
         for epoch in range(start_epoch + 1, epochs + 1):
-            train_metrics = self.train_epoch(train_loader)
+            start_totals = None
+            if pending is not None and pending["epoch"] == epoch:
+                start_totals = pending["totals"]
+                pending = None
+            train_metrics = self.train_epoch(train_loader, epoch=epoch,
+                                             start_totals=start_totals)
             record = {
                 "epoch": epoch,
                 "train_loss": train_metrics["loss"],
@@ -285,24 +417,8 @@ class Trainer:
                     epoch % checkpoint_every == 0:
                 epoch_path = self.save_checkpoint(
                     checkpoint_dir / f"epoch_{epoch:04d}.npz", train_loader, epoch)
-                # last.npz is a byte copy, not a second (expensive)
-                # serialization; unique temp name so concurrent trainers
-                # sharing a checkpoint_dir never interleave into one file.
-                descriptor, temp_name = tempfile.mkstemp(
-                    dir=checkpoint_dir, prefix="last.npz.", suffix=".tmp")
-                try:
-                    with os.fdopen(descriptor, "wb") as stream, \
-                            open(epoch_path, "rb") as source:
-                        shutil.copyfileobj(source, stream)
-                        stream.flush()
-                        os.fsync(stream.fileno())
-                    os.replace(temp_name, checkpoint_dir / "last.npz")
-                except BaseException:
-                    try:
-                        os.unlink(temp_name)
-                    except OSError:
-                        pass
-                    raise
+                # last.npz is a byte copy, not a second (expensive) serialization.
+                _atomic_copy(epoch_path, checkpoint_dir / "last.npz")
 
             if self.diverged and stop_on_divergence:
                 break
